@@ -1,0 +1,90 @@
+"""A4 — churn resilience: DATAFLASKS vs the Chord DHT baseline.
+
+The paper's motivating claim (Sections I and III): epidemic substrates
+keep serving under churn levels that break structured overlays. Both
+systems get the same treatment — load a working set, let replication
+settle, then apply increasingly brutal instantaneous failures and
+measure read availability immediately after (no grace period: the point
+is behaviour *while* the overlay is wounded).
+"""
+
+import pytest
+
+from repro.analysis.tables import rows_to_table
+from repro.core.cluster import DataFlasksCluster
+from repro.core.config import DataFlasksConfig
+from repro.dht.cluster import DhtCluster
+
+from conftest import report
+
+N = 80
+KEYS = 15
+KILL_FRACTIONS = (0.1, 0.3, 0.5)
+
+
+def measure_availability(cluster, client, keys):
+    ok = 0
+    for key in keys:
+        op = client.get(key)
+        cluster.sim.run_until_condition(lambda: op.done, timeout=40)
+        ok += op.done and op.succeeded
+    return ok / len(keys)
+
+
+def run_dataflasks(kill_fraction: float, seed: int):
+    config = DataFlasksConfig(num_slices=8)
+    cluster = DataFlasksCluster(n=N, config=config, seed=seed)
+    cluster.warm_up(10)
+    cluster.wait_for_slices(timeout=90)
+    client = cluster.new_client(timeout=4.0, retries=2)
+    keys = [f"avail:{i}" for i in range(KEYS)]
+    for i, key in enumerate(keys):
+        cluster.put_sync(client, key, b"payload", 1)
+    cluster.sim.run_for(25)  # anti-entropy replication
+
+    cluster.churn_controller().kill_fraction(kill_fraction)
+    return measure_availability(cluster, client, keys)
+
+
+def run_dht(kill_fraction: float, seed: int):
+    cluster = DhtCluster(n=N, replication=3, seed=seed)
+    cluster.stabilize(15)
+    client = cluster.new_client(timeout=4.0, retries=2)
+    keys = [f"avail:{i}" for i in range(KEYS)]
+    for key in keys:
+        cluster.put_sync(client, key, b"payload", 1)
+    cluster.sim.run_for(25)  # repair rounds replicate
+
+    cluster.churn_controller().kill_fraction(kill_fraction)
+    return measure_availability(cluster, client, keys)
+
+
+@pytest.mark.benchmark(group="ablation-churn")
+def test_churn_resilience_vs_dht(benchmark):
+    def sweep():
+        rows = []
+        for i, fraction in enumerate(KILL_FRACTIONS):
+            rows.append(
+                {
+                    "kill_fraction": fraction,
+                    "dataflasks_reads_ok": run_dataflasks(fraction, seed=61 + i),
+                    "dht_reads_ok": run_dht(fraction, seed=61 + i),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "A4 — read availability right after mass failure (N=80, no repair grace)\n"
+        + rows_to_table(rows, ["kill_fraction", "dataflasks_reads_ok", "dht_reads_ok"])
+    )
+    by_fraction = {r["kill_fraction"]: r for r in rows}
+    # DATAFLASKS: slice-wide replication keeps essentially everything
+    # readable even at 50% instantaneous failure.
+    assert by_fraction[0.5]["dataflasks_reads_ok"] >= 0.9
+    # The R=3 DHT cannot beat the epidemic store once failures exceed
+    # its replication factor's tolerance.
+    assert (
+        by_fraction[0.5]["dataflasks_reads_ok"]
+        >= by_fraction[0.5]["dht_reads_ok"]
+    )

@@ -1,0 +1,86 @@
+"""A2 — dissemination fanout vs delivery (paper Section II).
+
+Validates the random-graph sizing rule the paper builds on: with fanout
+``ln N + c`` the probability of *atomic* infection (every node reached)
+approaches ``e^{-e^{-c}}``. The bench sweeps the fanout and reports the
+measured atomic-delivery ratio next to the prediction.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.tables import rows_to_table
+from repro.gossip.dissemination import (
+    DisseminationService,
+    atomic_infection_probability,
+)
+from repro.pss.bootstrap import bootstrap_random_views
+from repro.pss.cyclon import CyclonService
+from repro.sim.node import Node
+from repro.sim.simulator import Simulation
+
+from conftest import report
+
+N = 100
+BROADCASTS = 30
+
+
+def run_fanout(fanout: int, seed: int = 7):
+    sim = Simulation(seed=seed)
+
+    def factory(node_id, ctx):
+        node = Node(node_id, ctx)
+        node.add_service(CyclonService(view_size=15, shuffle_length=7))
+        node.add_service(DisseminationService(fanout=fanout))
+        return node
+
+    nodes = sim.add_nodes(factory, N)
+    bootstrap_random_views(nodes, degree=6, rng=sim.rng_registry.stream("b"))
+    sim.start_all()
+    sim.run_for(15)
+
+    reached = {}
+    for node in nodes:
+        node.get_service(DisseminationService).subscribe(
+            lambda payload, msg_id, hops, i=node.id: reached.setdefault(
+                msg_id, set()
+            ).add(i)
+        )
+    origins = nodes[:BROADCASTS]
+    for origin in origins:
+        msg_id = origin.get_service(DisseminationService).broadcast("probe")
+        reached.setdefault(msg_id, set()).add(origin.id)
+    sim.run_for(10)
+
+    atomic = sum(1 for nodes_reached in reached.values() if len(nodes_reached) == N)
+    mean_coverage = sum(len(v) for v in reached.values()) / (len(reached) * N)
+    c = fanout - math.log(N)
+    return {
+        "fanout": fanout,
+        "c": c,
+        "predicted_atomic": atomic_infection_probability(c),
+        "measured_atomic": atomic / BROADCASTS,
+        "mean_coverage": mean_coverage,
+    }
+
+
+@pytest.mark.benchmark(group="ablation-fanout")
+def test_dissemination_fanout_sweep(benchmark):
+    def sweep():
+        return [run_fanout(f) for f in (1, 2, 3, 5, 7, 9)]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "A2 — fanout vs atomic delivery (N=100; prediction e^(-e^(-c)), c = f - lnN)\n"
+        + rows_to_table(
+            rows,
+            ["fanout", "c", "predicted_atomic", "measured_atomic", "mean_coverage"],
+        )
+    )
+    by_fanout = {r["fanout"]: r for r in rows}
+    # Coverage is monotone in fanout and saturates at full delivery.
+    coverages = [r["mean_coverage"] for r in rows]
+    assert all(b >= a - 0.05 for a, b in zip(coverages, coverages[1:]))
+    assert by_fanout[9]["measured_atomic"] >= 0.9
+    assert by_fanout[1]["measured_atomic"] <= 0.2

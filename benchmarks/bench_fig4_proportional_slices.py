@@ -1,0 +1,50 @@
+"""Figure 4 — messages per node, slices proportional to system size.
+
+Paper setup: the number of slices grows with the node count (constant
+replication factor), so the extra nodes "enlarge the system capacity";
+we realise that by loading proportionally more records (10 per slice).
+Expected shape: per-node message load *grows* with system size and sits
+well above the Figure 3 curve at the large end — the paper reports
+~200 → ~1,400 messages per node over 500 → 3,000 nodes.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_proportional_slices
+from repro.analysis.tables import format_series, rows_to_table
+
+from conftest import report
+
+COLUMNS = [
+    "n",
+    "num_slices",
+    "ops",
+    "messages_per_node",
+    "request_messages_per_node",
+    "success_rate",
+]
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_proportional_slices(benchmark):
+    rows = benchmark.pedantic(run_proportional_slices, rounds=1, iterations=1)
+    series = [(r["n"], r["messages_per_node"]) for r in rows]
+    report(
+        "Figure 4 — avg messages per node, slices proportional to nodes\n"
+        + rows_to_table(rows, COLUMNS)
+        + "\n"
+        + format_series(
+            "series (paper: growing, ~200 -> ~1400 over a 6x size increase)",
+            "nodes",
+            "msgs/node",
+            series,
+        )
+    )
+    assert all(r["success_rate"] >= 0.95 for r in rows)
+    values = [r["messages_per_node"] for r in rows]
+    # Shape: clear growth across the sweep (the capacity-scaling regime),
+    # unlike Figure 3's flat curve.
+    assert values[-1] > 2.0 * values[0]
+    # And the curve is monotone-ish: each point at least 80% of its
+    # predecessor (noise guard, growth overall).
+    assert all(b > 0.8 * a for a, b in zip(values, values[1:]))

@@ -1,0 +1,90 @@
+"""A3 — Load Balancer strategies (paper Sections V and VII).
+
+The paper's Load Balancer hands clients a random contact node and
+Section VII projects the optimisation: a cache that knows slice members
+would cut dissemination "to the minimum". This bench measures messages
+per operation and latency for random, round-robin and the slice-aware
+cache, on the same workload.
+"""
+
+import pytest
+
+from repro.analysis.tables import rows_to_table
+from repro.core.cluster import DataFlasksCluster
+from repro.core.config import DataFlasksConfig
+from repro.workload.runner import WorkloadRunner
+from repro.workload.ycsb import CoreWorkload
+
+from conftest import report
+
+N = 100
+OPS = 150
+
+
+def run_strategy(strategy: str, seed: int = 51):
+    config = DataFlasksConfig(num_slices=10)
+    cluster = DataFlasksCluster(n=N, config=config, seed=seed)
+    cluster.warm_up(10)
+    cluster.wait_for_slices(timeout=90)
+    client = cluster.new_client(lb_strategy=strategy)
+    # Read-heavy mix over a pre-loaded working set: exactly where a
+    # slice cache pays off (repeat visits to the same slices).
+    workload = CoreWorkload(
+        record_count=50,
+        read_proportion=0.9,
+        update_proportion=0.1,
+        request_distribution="zipfian",
+    )
+    runner = WorkloadRunner(cluster, workload, client=client, seed=seed)
+    runner.run_load_phase()
+    cluster.sim.run_for(15)  # replicate fully before measuring
+
+    before = cluster.server_message_load()["handled"]
+    stats = runner.run_transactions(OPS)
+    after = cluster.server_message_load()["handled"]
+
+    row = {
+        "strategy": strategy,
+        "msgs_per_node": after - before,
+        "success_rate": stats.success_rate,
+        "read_p50_latency": stats.latency_summary("read")["p50"],
+        "throughput": stats.throughput,
+    }
+    lb = client.load_balancer
+    if hasattr(lb, "cache_hits"):
+        total = lb.cache_hits + lb.cache_misses
+        row["cache_hit_rate"] = lb.cache_hits / total if total else 0.0
+    else:
+        row["cache_hit_rate"] = ""
+    return row
+
+
+@pytest.mark.benchmark(group="ablation-loadbalancer")
+def test_load_balancer_strategies(benchmark):
+    def sweep():
+        return [run_strategy(s) for s in ("random", "round-robin", "slice-aware")]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "A3 — load balancer strategies (read-heavy zipfian, N=100, k=10)\n"
+        + rows_to_table(
+            rows,
+            [
+                "strategy",
+                "msgs_per_node",
+                "read_p50_latency",
+                "success_rate",
+                "cache_hit_rate",
+                "throughput",
+            ],
+        )
+    )
+    by_name = {r["strategy"]: r for r in rows}
+    assert all(r["success_rate"] >= 0.95 for r in rows)
+    # The Section VII prediction: slice-aware routing slashes per-node
+    # message load versus the random baseline.
+    assert (
+        by_name["slice-aware"]["msgs_per_node"]
+        < 0.7 * by_name["random"]["msgs_per_node"]
+    )
+    assert by_name["slice-aware"]["cache_hit_rate"] > 0.5

@@ -1,0 +1,84 @@
+"""A7 — YCSB workload mixes A–F on DATAFLASKS (paper Section VI).
+
+The paper only ran the write-only load; this bench exercises the full
+YCSB core suite against a mid-size cluster, reporting success rate,
+latency and per-node message cost per mix — the table a practitioner
+would want before adopting the substrate.
+"""
+
+import pytest
+
+from repro.analysis.tables import rows_to_table
+from repro.core.cluster import DataFlasksCluster
+from repro.core.config import DataFlasksConfig
+from repro.workload.runner import WorkloadRunner
+from repro.workload.ycsb import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+    WORKLOAD_E,
+    WORKLOAD_F,
+)
+
+from conftest import report
+
+N = 60
+RECORDS = 40
+OPS = 60
+
+
+def run_workload(workload, seed: int):
+    config = DataFlasksConfig(num_slices=6)
+    cluster = DataFlasksCluster(n=N, config=config, seed=seed)
+    cluster.warm_up(10)
+    cluster.wait_for_slices(timeout=90)
+    runner = WorkloadRunner(cluster, workload.scaled(RECORDS), seed=seed)
+    load_stats = runner.run_load_phase()
+    assert load_stats.success_rate == 1.0
+    cluster.sim.run_for(20)  # replicate before the transaction phase
+
+    before = cluster.server_message_load()["handled"]
+    stats = runner.run_transactions(OPS)
+    after = cluster.server_message_load()["handled"]
+    reads = stats.latency_summary("read")
+    return {
+        "workload": workload.name,
+        "success_rate": stats.success_rate,
+        "throughput": stats.throughput,
+        "read_p50": reads["p50"],
+        "read_p99": reads["p99"],
+        "msgs_per_node": after - before,
+    }
+
+
+@pytest.mark.benchmark(group="ablation-ycsb")
+def test_ycsb_core_suite(benchmark):
+    workloads = [
+        WORKLOAD_A,
+        WORKLOAD_B,
+        WORKLOAD_C,
+        WORKLOAD_D,
+        WORKLOAD_E,
+        WORKLOAD_F,
+    ]
+
+    def sweep():
+        return [run_workload(w, seed=91 + i) for i, w in enumerate(workloads)]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "A7 — YCSB core workloads on DATAFLASKS (N=60, k=6)\n"
+        + rows_to_table(
+            rows,
+            [
+                "workload",
+                "success_rate",
+                "throughput",
+                "read_p50",
+                "read_p99",
+                "msgs_per_node",
+            ],
+        )
+    )
+    assert all(r["success_rate"] >= 0.9 for r in rows)

@@ -1,0 +1,33 @@
+"""Benchmark-suite plumbing.
+
+Benches produce human-readable tables (the rows/series the paper's
+figures plot). pytest captures stdout, so tables are routed through
+:func:`report` into the terminal summary — they appear at the end of any
+``pytest benchmarks/ --benchmark-only`` run and are also appended to
+``benchmarks/results.txt`` for the record.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+_REPORTS: List[str] = []
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def report(text: str) -> None:
+    """Queue a block of text for the terminal summary and results file."""
+    _REPORTS.append(text)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.section("reproduction results")
+    body = "\n\n".join(_REPORTS)
+    for line in body.splitlines():
+        terminalreporter.write_line(line)
+    with open(RESULTS_PATH, "a", encoding="utf-8") as f:
+        f.write(body + "\n\n")

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""DATAFLASKS vs a Chord DHT under identical mass failures.
+
+The paper's introduction argues that DHT-backed tuple-stores "rely on
+structured peer-to-peer protocols which assume moderately stable
+environments". This example runs the same load and the same failure
+schedule against both systems and prints read availability side by side.
+
+Run:  python examples/dht_comparison.py
+"""
+
+from repro import DataFlasksCluster, DataFlasksConfig
+from repro.analysis.tables import format_table
+from repro.dht import DhtCluster
+
+
+def availability(cluster, client, keys) -> float:
+    ok = 0
+    for key in keys:
+        op = client.get(key)
+        cluster.sim.run_until_condition(lambda: op.done, timeout=40)
+        ok += op.done and op.succeeded
+    return ok / len(keys)
+
+
+def run_dataflasks(kill_fraction, seed):
+    cluster = DataFlasksCluster(
+        n=80, config=DataFlasksConfig(num_slices=8), seed=seed
+    )
+    cluster.warm_up(10)
+    cluster.wait_for_slices(timeout=90)
+    client = cluster.new_client(timeout=4.0, retries=2)
+    keys = [f"k:{i}" for i in range(12)]
+    for key in keys:
+        cluster.put_sync(client, key, b"v", 1)
+    cluster.sim.run_for(25)
+    cluster.churn_controller().kill_fraction(kill_fraction)
+    return availability(cluster, client, keys)
+
+
+def run_dht(kill_fraction, seed):
+    cluster = DhtCluster(n=80, replication=3, seed=seed)
+    cluster.stabilize(15)
+    client = cluster.new_client(timeout=4.0, retries=2)
+    keys = [f"k:{i}" for i in range(12)]
+    for key in keys:
+        cluster.put_sync(client, key, b"v", 1)
+    cluster.sim.run_for(25)
+    cluster.churn_controller().kill_fraction(kill_fraction)
+    return availability(cluster, client, keys)
+
+
+def main() -> None:
+    rows = []
+    for i, fraction in enumerate((0.1, 0.3, 0.5)):
+        print(f"running kill fraction {fraction:.0%}...")
+        rows.append(
+            [
+                f"{fraction:.0%}",
+                f"{run_dataflasks(fraction, seed=200 + i):.0%}",
+                f"{run_dht(fraction, seed=200 + i):.0%}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["killed", "DATAFLASKS reads ok", "Chord DHT (R=3) reads ok"], rows
+        )
+    )
+    print(
+        "\nDATAFLASKS replicates across a whole slice (~10 nodes here), so"
+        "\nreads survive failures that overwhelm the DHT's R=3 successor set."
+    )
+
+
+if __name__ == "__main__":
+    main()

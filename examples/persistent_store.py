@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Durable Data Stores: running DATAFLASKS nodes on disk.
+
+The paper's Data Store "is an abstraction of the actual storing
+mechanism which can be the node hard disk or other persistence
+mechanism" (Section V). This example deploys a small cluster whose nodes
+persist to append-only log files, crashes a node, and shows that the log
+survives and recovers — including a torn final record.
+
+Run:  python examples/persistent_store.py
+"""
+
+import os
+import tempfile
+
+from repro import DataFlasksCluster, DataFlasksConfig, FileStore
+
+
+def main() -> None:
+    data_dir = tempfile.mkdtemp(prefix="dataflasks-")
+    print(f"node logs under {data_dir}")
+
+    def store_factory(node_id: int) -> FileStore:
+        return FileStore(os.path.join(data_dir, f"node-{node_id}.log"))
+
+    cluster = DataFlasksCluster(
+        n=30,
+        config=DataFlasksConfig(num_slices=3),
+        seed=11,
+        store_factory=store_factory,
+    )
+    cluster.warm_up(10)
+    cluster.wait_for_slices(timeout=90)
+    client = cluster.new_client()
+
+    for i in range(10):
+        cluster.put_sync(client, f"durable:{i}", f"value-{i}".encode(), version=1)
+    cluster.sim.run_for(20)
+
+    holder = next(s for s in cluster.alive_servers() if s.holds("durable:0"))
+    log_path = os.path.join(data_dir, f"node-{holder.id}.log")
+    print(f"\nnode {holder.id} holds durable:0; crashing it")
+    holder.crash()  # closes the store
+
+    print(f"log file survives: {os.path.getsize(log_path)} bytes")
+    recovered = FileStore(log_path)
+    obj = recovered.get("durable:0", 1)
+    print(f"recovered from disk: {obj.key} v{obj.version} = {obj.value!r}")
+    print(f"objects in recovered store: {len(recovered)}")
+
+    # Crash-consistency: even a torn final record is tolerated.
+    recovered.close()
+    with open(log_path, "r+b") as f:
+        f.truncate(os.path.getsize(log_path) - 2)
+    reopened = FileStore(log_path)
+    print(f"after simulated torn write: {len(reopened)} objects still readable")
+    reopened.close()
+
+    # Meanwhile the cluster still serves the data from other replicas.
+    result = cluster.get_sync(client, "durable:0")
+    print(f"\ncluster still serves durable:0 -> {result.value!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Figures 3 and 4 at example scale.
+
+Runs the two evaluation sweeps (Section VI) on a reduced node range so
+the example finishes in about a minute; the benchmarks in benchmarks/
+run the full scaled sweep and ``REPRO_FULL_SCALE=1`` enables the paper's
+exact 500–3,000-node range.
+
+Run:  python examples/scalability_sweep.py
+"""
+
+from repro.analysis import (
+    run_constant_slices,
+    run_proportional_slices,
+)
+from repro.analysis.tables import format_series, rows_to_table
+
+COLUMNS = ["n", "num_slices", "ops", "messages_per_node", "success_rate"]
+NODE_COUNTS = [60, 120, 180, 240]
+
+
+def main() -> None:
+    print("Figure 3 (example scale) — constant slices, fixed workload")
+    rows = run_constant_slices(node_counts=NODE_COUNTS, num_slices=6, record_count=60)
+    print(rows_to_table(rows, COLUMNS))
+    print(
+        format_series(
+            "expected shape: roughly flat",
+            "nodes",
+            "msgs/node",
+            [(r["n"], r["messages_per_node"]) for r in rows],
+        )
+    )
+
+    print("\nFigure 4 (example scale) — slices proportional to nodes")
+    rows = run_proportional_slices(
+        node_counts=NODE_COUNTS, nodes_per_slice=10, records_per_slice=6
+    )
+    print(rows_to_table(rows, COLUMNS))
+    print(
+        format_series(
+            "expected shape: growing with system size",
+            "nodes",
+            "msgs/node",
+            [(r["n"], r["messages_per_node"]) for r in rows],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

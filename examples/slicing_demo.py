@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Autonomous slicing by storage capacity (paper Section IV-A).
+
+DATAFLASKS slices the system "according to the individual node storage
+capacity. This allows that a certain node with less capacity is assigned
+with less data to store." This example deploys nodes with three capacity
+tiers, shows that the emergent slices sort by capacity with no global
+knowledge, and then *reconfigures the slice count at runtime* — the knob
+the paper identifies for autonomous replication management (fewer slices
+⇒ more replicas per object; more slices ⇒ more capacity).
+
+Run:  python examples/slicing_demo.py
+"""
+
+from collections import defaultdict
+
+from repro import DataFlasksCluster, DataFlasksConfig
+from repro.slicing.base import SlicingService
+
+
+def capacity_tiers(node_id: int, rng) -> float:
+    """Three hardware generations: small, medium, large nodes."""
+    return [100.0, 500.0, 2000.0][node_id % 3] + rng.random()
+
+
+def describe(cluster) -> None:
+    tiers = defaultdict(lambda: defaultdict(int))
+    for server in cluster.alive_servers():
+        service = server.get_service(SlicingService)
+        tier = ["small", "medium", "large"][server.id % 3]
+        tiers[service.my_slice()][tier] += 1
+    for slice_id in sorted(tiers):
+        counts = dict(tiers[slice_id])
+        print(f"  slice {slice_id}: {counts}")
+
+
+def main() -> None:
+    config = DataFlasksConfig(num_slices=3)
+    cluster = DataFlasksCluster(
+        n=60, config=config, seed=5, attribute_fn=capacity_tiers
+    )
+    cluster.warm_up(10)
+    cluster.wait_for_slices(timeout=120)
+    cluster.sim.run_for(60)  # extra rounds to sharpen the rank estimates
+
+    print("slices after convergence (should sort by capacity tier):")
+    describe(cluster)
+
+    print("\nreconfiguring to 6 slices at runtime...")
+    for server in cluster.alive_servers():
+        server.get_service(SlicingService).set_num_slices(6)
+    cluster.config.num_slices = 6
+    cluster.sim.run_for(60)
+    print("slices after reconfiguration:")
+    describe(cluster)
+
+    print(
+        "\nnote: fewer slices -> larger slices -> higher replication factor;"
+        "\nmore slices -> more key ranges -> higher system capacity (Sec. IV-C)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs on environments whose
+setuptools lacks PEP 660 support (all metadata lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""DATAFLASKS reproduction: an epidemic dependable key-value substrate.
+
+Full Python reproduction of Maia et al., "DATAFLASKS: an epidemic
+dependable key-value substrate" (DSN 2013), including every substrate the
+paper depends on: a deterministic discrete-event simulator, Peer Sampling
+Services (Cyclon/Newscast), distributed slicing protocols, epidemic
+dissemination, a YCSB-style workload generator, churn injection, and a
+Chord-style DHT baseline.
+
+Quickstart::
+
+    from repro import DataFlasksCluster
+
+    cluster = DataFlasksCluster(n=100, seed=42)
+    cluster.warm_up(10)
+    cluster.wait_for_slices(timeout=60)
+    client = cluster.new_client()
+    cluster.put_sync(client, "user:1", b"alice", version=1)
+    result = cluster.get_sync(client, "user:1")
+    assert result.value == b"alice"
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced figures.
+"""
+
+from repro.core import (
+    DataFlasksClient,
+    DataFlasksCluster,
+    DataFlasksConfig,
+    DataFlasksNode,
+    FileStore,
+    MemoryStore,
+    PendingOp,
+    VersionedStore,
+    slice_for_key,
+)
+from repro.droplets import DropletsSession
+from repro.sim import Simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DataFlasksClient",
+    "DropletsSession",
+    "DataFlasksCluster",
+    "DataFlasksConfig",
+    "DataFlasksNode",
+    "FileStore",
+    "MemoryStore",
+    "PendingOp",
+    "Simulation",
+    "VersionedStore",
+    "slice_for_key",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Experiment drivers and reporting helpers.
+
+* :mod:`repro.analysis.experiments` — parameterised sweeps behind the
+  Figure 3 / Figure 4 benches
+* :mod:`repro.analysis.tables` — ASCII tables/series for bench output
+"""
+
+from repro.analysis.health import ConsistencyReport, check_cluster, missing_objects
+from repro.analysis.experiments import (
+    default_node_counts,
+    full_scale,
+    run_constant_slices,
+    run_proportional_slices,
+    run_write_workload_point,
+)
+from repro.analysis.tables import format_series, format_table, rows_to_table
+
+__all__ = [
+    "ConsistencyReport",
+    "check_cluster",
+    "missing_objects",
+    "default_node_counts",
+    "format_series",
+    "format_table",
+    "full_scale",
+    "rows_to_table",
+    "run_constant_slices",
+    "run_proportional_slices",
+    "run_write_workload_point",
+]

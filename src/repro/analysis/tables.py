@@ -1,0 +1,48 @@
+"""ASCII tables and series for bench output.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["format_table", "format_series", "rows_to_table"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render a fixed-width table with a header rule."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str, xlabel: str, ylabel: str, points: Iterable[Tuple[Any, Any]]
+) -> str:
+    """Render one figure series as '<x> -> <y>' lines under a title."""
+    lines = [title, f"  {xlabel} -> {ylabel}"]
+    for x, y in points:
+        lines.append(f"  {_fmt(x):>8} -> {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def rows_to_table(rows: List[Dict[str, Any]], columns: Sequence[str]) -> str:
+    """Tabulate a list of uniform dicts, selecting/ordering by ``columns``."""
+    return format_table(columns, [[row.get(col, "") for col in columns] for row in rows])
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,31 @@
+"""Churn and failure injection.
+
+* :mod:`repro.churn.models` — Poisson, session-based, trace-driven and
+  correlated-failure event generators
+* :class:`~repro.churn.controller.ChurnController` — applies events to a
+  simulation (crashes, bootstrapped joins)
+"""
+
+from repro.churn.controller import ChurnController
+from repro.churn.models import (
+    JOIN,
+    LEAVE,
+    ChurnEvent,
+    ChurnModel,
+    CorrelatedFailure,
+    PoissonChurn,
+    SessionChurn,
+    TraceChurn,
+)
+
+__all__ = [
+    "ChurnController",
+    "ChurnEvent",
+    "ChurnModel",
+    "CorrelatedFailure",
+    "JOIN",
+    "LEAVE",
+    "PoissonChurn",
+    "SessionChurn",
+    "TraceChurn",
+]

@@ -1,0 +1,118 @@
+"""Applying churn models to a running simulation.
+
+The :class:`ChurnController` schedules a model's events on the simulation
+clock. Leaves crash a random alive node (or the one the event names);
+joins build a fresh node with the deployment's node factory and bootstrap
+its Peer Sampling Service from a few random alive contacts — exactly how
+a real node would join via a tracker.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from repro.churn.models import JOIN, LEAVE, ChurnEvent, ChurnModel
+from repro.pss.base import PeerSamplingService
+from repro.sim.node import Node
+from repro.sim.simulator import NodeFactory, Simulation
+
+__all__ = ["ChurnController"]
+
+
+class ChurnController:
+    """Drives membership change in a :class:`~repro.sim.simulator.Simulation`.
+
+    :param node_factory: how to build a joining node.
+    :param on_join: optional callback invoked with each new node (e.g. to
+        register it with a cluster object).
+    :param bootstrap_degree: number of alive contacts handed to a joiner.
+    :param eligible: which nodes churn may touch; defaults to every alive
+        node in the simulation. Deployments with co-simulated clients
+        MUST scope this to their servers — churn models machines leaving,
+        not the benchmark harness killing its own measurement probe.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        node_factory: NodeFactory,
+        on_join: Optional[Callable[[Node], None]] = None,
+        bootstrap_degree: int = 5,
+        rng: Optional[random.Random] = None,
+        eligible: Optional[Callable[[], List[Node]]] = None,
+    ) -> None:
+        self.sim = sim
+        self.node_factory = node_factory
+        self.on_join = on_join
+        self.bootstrap_degree = bootstrap_degree
+        self.rng = rng or sim.rng_registry.stream("churn")
+        self.eligible = eligible if eligible is not None else sim.alive_nodes
+        self.joins = 0
+        self.leaves = 0
+
+    def _population(self) -> List[Node]:
+        return sorted((n for n in self.eligible() if n.alive), key=lambda n: n.id)
+
+    # ------------------------------------------------------------ actions
+
+    def kill(self, node_id: Optional[int] = None) -> Optional[Node]:
+        """Crash a node (random alive one when ``node_id`` is ``None``)."""
+        if node_id is None:
+            alive = self._population()
+            if not alive:
+                return None
+            node = self.rng.choice(alive)
+        else:
+            node = self.sim.nodes.get(node_id)
+            if node is None or not node.alive:
+                return None
+        node.crash()
+        self.leaves += 1
+        return node
+
+    def kill_fraction(self, fraction: float) -> List[Node]:
+        """Crash a uniformly random fraction of the eligible population."""
+        alive = self._population()
+        count = int(len(alive) * fraction)
+        victims = self.rng.sample(alive, count) if count else []
+        for node in victims:
+            node.crash()
+            self.leaves += 1
+        return victims
+
+    def join(self) -> Optional[Node]:
+        """Add and start a new node, bootstrapped from alive contacts."""
+        alive = self._population()
+        node = self.sim.add_node(self.node_factory)
+        node.start()
+        self.joins += 1
+        if alive:
+            contacts = self.rng.sample(alive, min(self.bootstrap_degree, len(alive)))
+            pss = node.get_service(PeerSamplingService)
+            if pss is not None:
+                pss.bootstrap([c.id for c in contacts])
+        if self.on_join is not None:
+            self.on_join(node)
+        return node
+
+    # ----------------------------------------------------------- schedule
+
+    def apply(self, model: ChurnModel, horizon: float) -> int:
+        """Schedule all of ``model``'s events up to ``horizon`` from now.
+
+        Returns the number of events scheduled. Times in the model are
+        relative to the current simulation time.
+        """
+        start = self.sim.now
+        count = 0
+        for event in model.events(self.rng, horizon):
+            self.sim.scheduler.schedule_at(start + event.time, self._apply_event, event)
+            count += 1
+        return count
+
+    def _apply_event(self, event: ChurnEvent) -> None:
+        if event.kind == LEAVE:
+            self.kill(event.node_id)
+        elif event.kind == JOIN:
+            self.join()

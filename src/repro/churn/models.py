@@ -1,0 +1,139 @@
+"""Churn models: when do nodes join and leave?
+
+The paper's whole premise is that "when reaching unprecedented number of
+nodes, faults and churn become the rule instead of the exception", so the
+reproduction needs a proper fault-injection vocabulary:
+
+* :class:`PoissonChurn` — memoryless join/leave arrivals (the classic
+  steady-churn model),
+* :class:`SessionChurn` — nodes live for an exponentially distributed
+  session then leave (rate scales with population size),
+* :class:`TraceChurn` — replay an explicit list of timed events,
+* :class:`CorrelatedFailure` — kill a whole group at one instant, the
+  scenario Section IV-A argues coin-toss slicing cannot survive.
+
+Models only *generate* events; :mod:`repro.churn.controller` applies them
+to a simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnModel",
+    "PoissonChurn",
+    "SessionChurn",
+    "TraceChurn",
+    "CorrelatedFailure",
+    "JOIN",
+    "LEAVE",
+]
+
+JOIN = "join"
+LEAVE = "leave"
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership change.
+
+    ``node_id`` is ``None`` for events that let the controller pick the
+    subject (e.g. "a random alive node leaves").
+    """
+
+    time: float
+    kind: str  # JOIN or LEAVE
+    node_id: Optional[int] = None
+
+
+class ChurnModel:
+    """Produces a time-ordered stream of :class:`ChurnEvent`."""
+
+    def events(self, rng: random.Random, horizon: float) -> Iterator[ChurnEvent]:
+        """Yield events with ``time <= horizon`` in non-decreasing order."""
+        raise NotImplementedError
+
+
+class PoissonChurn(ChurnModel):
+    """Independent Poisson processes for joins and leaves.
+
+    :param join_rate: expected joins per second.
+    :param leave_rate: expected leaves per second.
+    """
+
+    def __init__(self, join_rate: float, leave_rate: float) -> None:
+        if join_rate < 0 or leave_rate < 0:
+            raise ConfigurationError("rates must be non-negative")
+        self.join_rate = join_rate
+        self.leave_rate = leave_rate
+
+    def events(self, rng: random.Random, horizon: float) -> Iterator[ChurnEvent]:
+        pending: List[ChurnEvent] = []
+        for rate, kind in ((self.join_rate, JOIN), (self.leave_rate, LEAVE)):
+            if rate <= 0:
+                continue
+            t = rng.expovariate(rate)
+            while t <= horizon:
+                pending.append(ChurnEvent(t, kind))
+                t += rng.expovariate(rate)
+        return iter(sorted(pending, key=lambda e: e.time))
+
+
+class SessionChurn(ChurnModel):
+    """Every leave is matched by a join: population stays constant while
+    individual nodes turn over with mean session length ``mean_session``.
+
+    The effective churn rate is ``population / mean_session`` leaves per
+    second, each immediately followed by a replacement join.
+    """
+
+    def __init__(self, population: int, mean_session: float) -> None:
+        if population <= 0 or mean_session <= 0:
+            raise ConfigurationError("population and mean_session must be positive")
+        self.population = population
+        self.mean_session = mean_session
+
+    def events(self, rng: random.Random, horizon: float) -> Iterator[ChurnEvent]:
+        rate = self.population / self.mean_session
+        pending: List[ChurnEvent] = []
+        t = rng.expovariate(rate)
+        while t <= horizon:
+            pending.append(ChurnEvent(t, LEAVE))
+            pending.append(ChurnEvent(t, JOIN))
+            t += rng.expovariate(rate)
+        return iter(pending)
+
+
+class TraceChurn(ChurnModel):
+    """Replay an explicit event list (e.g. from a measured trace)."""
+
+    def __init__(self, events: Iterable[ChurnEvent]) -> None:
+        self._events = sorted(events, key=lambda e: e.time)
+
+    def events(self, rng: random.Random, horizon: float) -> Iterator[ChurnEvent]:
+        return iter([e for e in self._events if e.time <= horizon])
+
+
+class CorrelatedFailure(ChurnModel):
+    """Kill an explicit set of nodes at one instant.
+
+    Models rack/switch failures — the correlated fault Section IV-A uses
+    to motivate adaptive slicing over coin-toss assignment.
+    """
+
+    def __init__(self, at: float, node_ids: Iterable[int]) -> None:
+        if at < 0:
+            raise ConfigurationError("failure time must be non-negative")
+        self.at = at
+        self.node_ids = list(node_ids)
+
+    def events(self, rng: random.Random, horizon: float) -> Iterator[ChurnEvent]:
+        if self.at > horizon:
+            return iter([])
+        return iter([ChurnEvent(self.at, LEAVE, node_id=i) for i in self.node_ids])

@@ -1,0 +1,149 @@
+"""Command-line interface: run demos and experiments without writing code.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro demo                 # 60-node put/get walkthrough
+    python -m repro fig3 --nodes 100 200 # Figure 3 sweep
+    python -m repro fig4 --nodes 100 200 # Figure 4 sweep
+    python -m repro check --nodes 50     # deploy, load, health report
+
+Each subcommand prints the same tables the benches emit, so the CLI is
+the quickest way to eyeball a result before running the full pytest
+benches.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.analysis.experiments import (
+    run_constant_slices,
+    run_proportional_slices,
+)
+from repro.analysis.health import check_cluster
+from repro.analysis.tables import format_series, rows_to_table
+from repro.core.cluster import DataFlasksCluster
+from repro.core.config import DataFlasksConfig
+
+__all__ = ["main", "build_parser"]
+
+FIG_COLUMNS = ["n", "num_slices", "ops", "messages_per_node", "success_rate"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DATAFLASKS reproduction — demos and paper experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="boot a cluster and run a put/get walkthrough")
+    demo.add_argument("--nodes", type=int, default=60)
+    demo.add_argument("--slices", type=int, default=5)
+    demo.add_argument("--seed", type=int, default=42)
+
+    fig3 = sub.add_parser("fig3", help="Figure 3 sweep: constant slices")
+    fig3.add_argument("--nodes", type=int, nargs="+", default=[100, 200, 300])
+    fig3.add_argument("--slices", type=int, default=10)
+    fig3.add_argument("--records", type=int, default=200)
+    fig3.add_argument("--seed", type=int, default=0)
+
+    fig4 = sub.add_parser("fig4", help="Figure 4 sweep: slices proportional to nodes")
+    fig4.add_argument("--nodes", type=int, nargs="+", default=[100, 200, 300])
+    fig4.add_argument("--nodes-per-slice", type=int, default=10)
+    fig4.add_argument("--records-per-slice", type=int, default=10)
+    fig4.add_argument("--seed", type=int, default=0)
+
+    check = sub.add_parser("check", help="deploy, load data, print a health report")
+    check.add_argument("--nodes", type=int, default=50)
+    check.add_argument("--slices", type=int, default=5)
+    check.add_argument("--keys", type=int, default=10)
+    check.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    cluster = DataFlasksCluster(
+        n=args.nodes, config=DataFlasksConfig(num_slices=args.slices), seed=args.seed
+    )
+    print(f"booting {args.nodes} nodes / {args.slices} slices ...")
+    cluster.warm_up(10)
+    converged = cluster.wait_for_slices(timeout=120)
+    print(f"slicing converged: {converged}; populations {cluster.slice_population()}")
+    client = cluster.new_client()
+    cluster.put_sync(client, "demo:key", b"hello dataflasks", version=1)
+    result = cluster.get_sync(client, "demo:key")
+    print(f"get(demo:key) -> {result.value!r} (version {result.result_version})")
+    cluster.sim.run_for(15)
+    print(f"replication level: {cluster.replication_level('demo:key')}")
+    print(f"per-node message load: {cluster.server_message_load()['handled']:.1f}")
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    rows = run_constant_slices(
+        node_counts=args.nodes,
+        num_slices=args.slices,
+        record_count=args.records,
+        seed=args.seed,
+    )
+    print(rows_to_table(rows, FIG_COLUMNS))
+    print(
+        format_series(
+            "Figure 3 (expected: roughly flat)",
+            "nodes",
+            "msgs/node",
+            [(r["n"], r["messages_per_node"]) for r in rows],
+        )
+    )
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    rows = run_proportional_slices(
+        node_counts=args.nodes,
+        nodes_per_slice=args.nodes_per_slice,
+        records_per_slice=args.records_per_slice,
+        seed=args.seed,
+    )
+    print(rows_to_table(rows, FIG_COLUMNS))
+    print(
+        format_series(
+            "Figure 4 (expected: growing with system size)",
+            "nodes",
+            "msgs/node",
+            [(r["n"], r["messages_per_node"]) for r in rows],
+        )
+    )
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    cluster = DataFlasksCluster(
+        n=args.nodes, config=DataFlasksConfig(num_slices=args.slices), seed=args.seed
+    )
+    cluster.warm_up(10)
+    cluster.wait_for_slices(timeout=120)
+    client = cluster.new_client()
+    for i in range(args.keys):
+        cluster.put_sync(client, f"check:{i}", f"value-{i}".encode(), version=1)
+    cluster.sim.run_for(20)
+    report = check_cluster(cluster)
+    print(report.summary())
+    print(f"healthy: {report.healthy}")
+    return 0 if report.healthy else 1
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "check": _cmd_check,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

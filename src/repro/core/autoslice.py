@@ -1,0 +1,173 @@
+"""Autonomous replication management (paper Section IV-C, implemented).
+
+"Recent slicing protocols allow for dynamic configuration of the slicing
+mechanism. This opens the door to autonomous mechanisms for replication
+management. Note that, for the same system size, a smaller number of
+slices increases the replication factor but lowers system capacity. [...]
+we believe that this opens important research paths for future work."
+
+This module walks that path: :class:`ReplicationManager` keeps the
+replication factor (≈ slice size ``N / k``) near a target *with no
+coordinator*. Each node:
+
+1. reads the decentralised system-size estimate from
+   :class:`~repro.gossip.aggregation.SystemSizeEstimator`,
+2. computes the ideal slice count ``k* = N / target_replication``,
+3. quantises ``k`` to powers of two — nodes whose estimates differ by a
+   few percent still agree on the same ``k``, because agreement only
+   needs them to land in the same octave,
+4. applies hysteresis (a dead-band around octave boundaries plus a
+   stability streak) so the system does not flap between two ``k``
+   values when the size estimate hovers at a boundary, and
+5. reconfigures its Slice Manager; the anti-entropy service's
+   *re-homing* then migrates objects whose key maps to a different slice
+   under the new ``k``.
+
+During a transition different nodes may briefly run different ``k``.
+The substrate tolerates this: any holder answers reads, writes flood
+until some responsible node stores them, and re-homing converges the
+placement once every node has switched.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.config import DataFlasksConfig
+from repro.errors import ConfigurationError
+from repro.gossip.aggregation import SystemSizeEstimator
+from repro.sim.node import Service
+from repro.slicing.base import SlicingService
+
+__all__ = ["ReplicationManager", "quantize_slices"]
+
+
+def quantize_slices(ideal: float, min_slices: int = 1, max_slices: int = 4096) -> int:
+    """Snap an ideal slice count to the nearest power of two, clamped."""
+    if ideal <= min_slices:
+        return min_slices
+    exponent = round(math.log2(ideal))
+    return max(min_slices, min(max_slices, 2 ** exponent))
+
+
+class ReplicationManager(Service):
+    """Keeps ``k`` tracking ``N / target_replication`` autonomously.
+
+    :param target_replication: desired slice size (replication factor).
+    :param period: seconds between control decisions (slow by design —
+        reconfiguration costs state transfer).
+    :param boundary_margin: fraction of an octave the size estimate must
+        clear beyond a boundary before switching (hysteresis dead-band).
+    :param stability_checks: consecutive periods the new ``k`` must be
+        proposed before it is applied.
+    """
+
+    name = "replication-manager"
+
+    def __init__(
+        self,
+        config: DataFlasksConfig,
+        target_replication: int = 10,
+        period: float = 10.0,
+        min_slices: int = 1,
+        max_slices: int = 4096,
+        boundary_margin: float = 0.15,
+        stability_checks: int = 2,
+    ) -> None:
+        super().__init__()
+        if target_replication <= 0:
+            raise ConfigurationError("target_replication must be positive")
+        if not 0 <= boundary_margin < 0.5:
+            raise ConfigurationError("boundary_margin must be in [0, 0.5)")
+        if stability_checks <= 0 or period <= 0:
+            raise ConfigurationError("stability_checks and period must be positive")
+        self.config = config
+        self.target_replication = target_replication
+        self.period = period
+        self.min_slices = min_slices
+        self.max_slices = max_slices
+        self.boundary_margin = boundary_margin
+        self.stability_checks = stability_checks
+        self.reconfigurations = 0
+        self._candidate: Optional[int] = None
+        self._candidate_streak = 0
+
+    # ----------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        node = self.node
+        assert node is not None
+        node.every(self.period, self._decide)
+
+    # ------------------------------------------------------------- control
+
+    def _size_estimate(self) -> Optional[float]:
+        node = self.node
+        assert node is not None
+        estimator = node.get_service(SystemSizeEstimator)
+        if estimator is None:
+            return None
+        return estimator.size()
+
+    def desired_slices(self, size: float) -> int:
+        """The quantised slice count for a given system size."""
+        return quantize_slices(
+            size / self.target_replication, self.min_slices, self.max_slices
+        )
+
+    def _clears_margin(self, size: float, proposed: int) -> bool:
+        """Hysteresis: is the estimate comfortably inside ``proposed``'s
+        octave, measured in log2 space against the boundary shared with
+        the current ``k``?"""
+        current = self.config.num_slices
+        ideal_log = math.log2(max(1.0, size / self.target_replication))
+        if proposed > current:
+            boundary = math.log2(proposed) - 0.5
+            return ideal_log >= boundary + self.boundary_margin
+        boundary = math.log2(proposed) + 0.5
+        return ideal_log <= boundary - self.boundary_margin
+
+    def _decide(self) -> None:
+        node = self.node
+        assert node is not None
+        size = self._size_estimate()
+        if size is None:
+            return
+        proposed = self.desired_slices(size)
+        if proposed == self.config.num_slices:
+            self._candidate = None
+            self._candidate_streak = 0
+            return
+        if not self._clears_margin(size, proposed):
+            self._candidate = None
+            self._candidate_streak = 0
+            return
+        if proposed == self._candidate:
+            self._candidate_streak += 1
+        else:
+            self._candidate = proposed
+            self._candidate_streak = 1
+        if self._candidate_streak >= self.stability_checks:
+            self._apply(proposed)
+            self._candidate = None
+            self._candidate_streak = 0
+
+    def _apply(self, new_k: int) -> None:
+        """Reconfigure this node's slice count.
+
+        The config object is node-local (each node owns a copy), so the
+        handler, anti-entropy and keyspace mapping all see the new ``k``
+        immediately; re-homing migrates any now-foreign objects.
+        """
+        node = self.node
+        assert node is not None
+        self.config.num_slices = new_k
+        slicing = node.get_service(SlicingService)
+        if slicing is not None:
+            slicing.set_num_slices(new_k)
+        antientropy = getattr(node, "antientropy", None)
+        if antientropy is not None:
+            antientropy.reset_rehoming()
+        self.reconfigurations += 1
+        node.metrics.inc("df.autoslice.reconfigured")

@@ -1,0 +1,220 @@
+"""Disk-backed data store: append-only log + in-memory index.
+
+The persistence mechanism behind the paper's Data Store abstraction when
+the "node hard disk" is used. Design follows the classic log-structured
+KV recipe:
+
+* every ``put`` appends one framed record to a log file and fsync-free
+  flushes (simulated nodes don't need durability past process death, but
+  the format is crash-recoverable anyway: truncated tails are ignored);
+* ``delete`` appends a tombstone;
+* an in-memory index maps ``(key, version)`` to log offsets; ``get``
+  seeks and reads;
+* :meth:`compact` rewrites the log dropping deleted/duplicate records.
+
+Record frame: ``[4-byte length][1-byte kind][payload]`` where payload is
+``key_len(4) | key | version(8 signed) | value_len(4) | value`` and kind
+is ``P`` (put) or ``T`` (tombstone). Values must be ``bytes``.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.errors import CapacityExceededError, StoreError
+from repro.core.store import StoredObject, VersionedStore
+
+__all__ = ["FileStore"]
+
+_HEADER = struct.Struct(">IB")  # record length, kind
+_KIND_PUT = ord("P")
+_KIND_TOMBSTONE = ord("T")
+
+
+def _encode(key: str, version: int, value: bytes) -> bytes:
+    key_bytes = key.encode("utf-8")
+    return b"".join(
+        (
+            struct.pack(">I", len(key_bytes)),
+            key_bytes,
+            struct.pack(">q", version),
+            struct.pack(">I", len(value)),
+            value,
+        )
+    )
+
+
+def _decode(payload: bytes) -> Tuple[str, int, bytes]:
+    offset = 0
+    (key_len,) = struct.unpack_from(">I", payload, offset)
+    offset += 4
+    key = payload[offset : offset + key_len].decode("utf-8")
+    offset += key_len
+    (version,) = struct.unpack_from(">q", payload, offset)
+    offset += 8
+    (value_len,) = struct.unpack_from(">I", payload, offset)
+    offset += 4
+    value = payload[offset : offset + value_len]
+    return key, version, value
+
+
+class FileStore(VersionedStore):
+    """Log-structured persistent store.
+
+    :param path: log file path; created if absent, recovered if present.
+    :param capacity: optional max number of live object versions.
+    """
+
+    def __init__(self, path: str, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise StoreError("capacity must be positive or None")
+        self.path = path
+        self.capacity = capacity
+        # (key, version) -> (offset, value_len-agnostic record length)
+        self._index: Dict[str, Dict[int, Tuple[int, int]]] = {}
+        self._count = 0
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._file = open(path, "a+b")
+        self._recover()
+
+    # ------------------------------------------------------------ recovery
+
+    def _recover(self) -> None:
+        """Rebuild the index by scanning the log; ignore a truncated tail."""
+        self._file.seek(0)
+        offset = 0
+        while True:
+            header = self._file.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                break
+            length, kind = _HEADER.unpack(header)
+            payload = self._file.read(length)
+            if len(payload) < length:
+                break  # truncated tail from a crash mid-append
+            key, version, _value = _decode(payload)
+            if kind == _KIND_PUT:
+                self._index_put(key, version, offset, _HEADER.size + length)
+            elif kind == _KIND_TOMBSTONE:
+                self._index_delete(key, version)
+            offset += _HEADER.size + length
+        self._file.seek(0, os.SEEK_END)
+
+    def _index_put(self, key: str, version: int, offset: int, record_len: int) -> None:
+        versions = self._index.setdefault(key, {})
+        if version not in versions:
+            self._count += 1
+        versions[version] = (offset, record_len)
+
+    def _index_delete(self, key: str, version: int) -> None:
+        versions = self._index.get(key)
+        if versions and version in versions:
+            del versions[version]
+            self._count -= 1
+            if not versions:
+                del self._index[key]
+
+    # ----------------------------------------------------------------- API
+
+    def put(self, key: str, version: int, value: Any) -> bool:
+        if not isinstance(value, (bytes, bytearray)):
+            raise StoreError("FileStore values must be bytes")
+        versions = self._index.get(key)
+        if versions is not None and version in versions:
+            return False
+        if self.capacity is not None and self._count >= self.capacity:
+            raise CapacityExceededError(
+                f"store full ({self._count}/{self.capacity} objects)"
+            )
+        payload = _encode(key, version, bytes(value))
+        record = _HEADER.pack(len(payload), _KIND_PUT) + payload
+        offset = self._file.seek(0, os.SEEK_END)
+        self._file.write(record)
+        self._file.flush()
+        self._index_put(key, version, offset, len(record))
+        return True
+
+    def get(self, key: str, version: Optional[int] = None) -> Optional[StoredObject]:
+        versions = self._index.get(key)
+        if not versions:
+            return None
+        if version is None:
+            version = max(versions)
+        entry = versions.get(version)
+        if entry is None:
+            return None
+        offset, record_len = entry
+        self._file.seek(offset)
+        record = self._file.read(record_len)
+        _length, kind = _HEADER.unpack(record[: _HEADER.size])
+        if kind != _KIND_PUT:  # pragma: no cover - index corruption guard
+            raise StoreError(f"index points at non-put record for {key}@{version}")
+        read_key, read_version, value = _decode(record[_HEADER.size :])
+        if (read_key, read_version) != (key, version):  # pragma: no cover
+            raise StoreError(f"log corruption at offset {offset}")
+        self._file.seek(0, os.SEEK_END)
+        return StoredObject(key, version, value)
+
+    def delete(self, key: str, version: Optional[int] = None) -> int:
+        versions = self._index.get(key)
+        if not versions:
+            return 0
+        targets = [version] if version is not None else list(versions)
+        removed = 0
+        for v in targets:
+            if v not in versions:
+                continue
+            payload = _encode(key, v, b"")
+            self._file.seek(0, os.SEEK_END)
+            self._file.write(_HEADER.pack(len(payload), _KIND_TOMBSTONE) + payload)
+            self._index_delete(key, v)
+            removed += 1
+        if removed:
+            self._file.flush()
+        return removed
+
+    def digest(self) -> FrozenSet[Tuple[str, int]]:
+        return frozenset(
+            (key, version) for key, versions in self._index.items() for version in versions
+        )
+
+    def keys(self) -> List[str]:
+        return list(self._index)
+
+    def versions(self, key: str) -> List[int]:
+        return sorted(self._index.get(key, {}))
+
+    def items(self) -> Iterator[StoredObject]:
+        for key in list(self._index):
+            for version in self.versions(key):
+                obj = self.get(key, version)
+                if obj is not None:
+                    yield obj
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------ lifecycle
+
+    def compact(self) -> None:
+        """Rewrite the log keeping only live records, then swap files."""
+        tmp_path = self.path + ".compact"
+        with open(tmp_path, "wb") as tmp:
+            new_index: Dict[str, Dict[int, Tuple[int, int]]] = {}
+            offset = 0
+            for obj in self.items():
+                payload = _encode(obj.key, obj.version, obj.value)
+                record = _HEADER.pack(len(payload), _KIND_PUT) + payload
+                tmp.write(record)
+                new_index.setdefault(obj.key, {})[obj.version] = (offset, len(record))
+                offset += len(record)
+        self._file.close()
+        os.replace(tmp_path, self.path)
+        self._file = open(self.path, "a+b")
+        self._index = new_index
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()

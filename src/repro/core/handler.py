@@ -1,0 +1,201 @@
+"""The Request Handler service (paper Section V).
+
+"The request Handler is responsible for dealing with requests made to the
+node. It knows to which slice the node belongs to from the Slice Manager
+and stores and retrieves correspondent data to and from the Data Store."
+
+Routing logic (Section IV-B, including its optimisation):
+
+* Every request carries a dissemination id; a node processes each id once
+  (infect-and-die flooding with deduplication).
+* A node **outside** the target slice merely relays: forward to
+  ``fanout`` random global-PSS peers, TTL permitting.
+* A node **inside** the target slice acts — stores the object / serves
+  the read, replies to the client — and keeps disseminating **only
+  intra-slice**, through the slice view, so the object reaches every
+  replica without re-flooding the whole system.
+
+Metrics written (per node): ``df.put.stored``, ``df.put.duplicate``,
+``df.put.rejected``, ``df.get.hit``, ``df.get.miss``, ``df.fwd.global``,
+``df.fwd.slice``, ``df.dedup.dropped``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import DataFlasksConfig
+from repro.core.keyspace import slice_for_key
+from repro.core.messages import GetReply, GetRequest, PutAck, PutRequest
+from repro.core.sliceview import SliceViewService
+from repro.core.store import VersionedStore
+from repro.errors import CapacityExceededError
+from repro.gossip.dissemination import DedupCache
+from repro.pss.base import PeerSamplingService
+from repro.sim.node import Service
+from repro.slicing.base import SlicingService
+
+__all__ = ["RequestHandler"]
+
+
+class RequestHandler(Service):
+    """Epidemic request processing for one DATAFLASKS node."""
+
+    name = "request-handler"
+
+    def __init__(self, store: VersionedStore, config: DataFlasksConfig) -> None:
+        super().__init__()
+        self.store = store
+        self.config = config
+        self._seen = DedupCache(config.dedup_capacity)
+
+    # ----------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        node = self.node
+        assert node is not None
+        node.register_handler(PutRequest, self._on_put)
+        node.register_handler(GetRequest, self._on_get)
+
+    def stop(self) -> None:
+        node = self.node
+        assert node is not None
+        node.unregister_handler(PutRequest)
+        node.unregister_handler(GetRequest)
+
+    # ------------------------------------------------------------- helpers
+
+    def _my_slice(self) -> Optional[int]:
+        node = self.node
+        assert node is not None
+        slicing = node.get_service(SlicingService)
+        assert slicing is not None, "RequestHandler requires a SlicingService"
+        return slicing.my_slice()
+
+    def _global_targets(self) -> List[int]:
+        node = self.node
+        assert node is not None
+        pss = node.get_service(PeerSamplingService)
+        assert pss is not None, "RequestHandler requires a PeerSamplingService"
+        return pss.sample(self.config.effective_fanout)
+
+    def _slice_targets(self) -> List[int]:
+        node = self.node
+        assert node is not None
+        slice_view = node.get_service(SliceViewService)
+        if slice_view is None:
+            return []
+        return slice_view.sample(self.config.intra_slice_fanout)
+
+    def _forward(self, msg, *, intra_slice: bool) -> None:
+        """Relay a request with a decremented TTL."""
+        node = self.node
+        assert node is not None
+        if msg.ttl <= 0:
+            node.metrics.inc("df.ttl.expired")
+            return
+        relay = _with_ttl(msg, msg.ttl - 1)
+        if intra_slice:
+            targets = self._slice_targets()
+            counter = "df.fwd.slice"
+        else:
+            targets = self._global_targets()
+            counter = "df.fwd.global"
+        for target in targets:
+            node.send(target, relay)
+        if targets:
+            node.metrics.inc(counter, node=node.id, by=len(targets))
+
+    # ----------------------------------------------------------------- put
+
+    def _on_put(self, msg: PutRequest, src: int) -> None:
+        node = self.node
+        assert node is not None
+        if self._seen.seen(("put", msg.msg_id)):
+            node.metrics.inc("df.dedup.dropped")
+            return
+        my_slice = self._my_slice()
+        target_slice = slice_for_key(msg.key, self.config.num_slices)
+        if my_slice is None or my_slice != target_slice:
+            # Not ours (or slice unknown yet): keep the epidemic going.
+            self._forward(msg, intra_slice=False)
+            return
+        # Local decision: this node is responsible for the object.
+        stored = self._store_object(msg)
+        if stored is not None:
+            node.send(
+                msg.client_id,
+                PutAck(msg.key, msg.version, msg.req_id, responder_slice=my_slice),
+            )
+        # Spread to the rest of the slice (replication), never re-flood
+        # globally from inside the slice.
+        self._forward(msg, intra_slice=True)
+
+    def _store_object(self, msg: PutRequest) -> Optional[bool]:
+        """Store; returns True/False for new/duplicate, None if rejected."""
+        node = self.node
+        assert node is not None
+        try:
+            fresh = self.store.put(msg.key, msg.version, msg.value)
+        except CapacityExceededError:
+            node.metrics.inc("df.put.rejected", node=node.id)
+            return None
+        counter = "df.put.stored" if fresh else "df.put.duplicate"
+        node.metrics.inc(counter, node=node.id)
+        return fresh
+
+    # ----------------------------------------------------------------- get
+
+    def _on_get(self, msg: GetRequest, src: int) -> None:
+        node = self.node
+        assert node is not None
+        if self._seen.seen(("get", msg.msg_id)):
+            node.metrics.inc("df.dedup.dropped")
+            return
+        # The paper's requirement is that "a read request must reach at
+        # least one node holding the target item" — ANY holder answers,
+        # even one that migrated out of the object's slice since storing
+        # it (its copy is valid until re-homing hands it over).
+        obj = self.store.get(msg.key, msg.version)
+        my_slice = self._my_slice()
+        if obj is not None:
+            node.metrics.inc("df.get.hit", node=node.id)
+            node.send(
+                msg.client_id,
+                GetReply(
+                    key=obj.key,
+                    version=obj.version,
+                    value=obj.value,
+                    found=True,
+                    req_id=msg.req_id,
+                    # Only advertise slice membership the client's load
+                    # balancer can rely on: a holder outside the target
+                    # slice must not be cached as a slice member.
+                    responder_slice=my_slice
+                    if my_slice == slice_for_key(msg.key, self.config.num_slices)
+                    else None,
+                ),
+            )
+            # Found: no need to keep disseminating on this branch.
+            return
+        target_slice = slice_for_key(msg.key, self.config.num_slices)
+        if my_slice is None or my_slice != target_slice:
+            self._forward(msg, intra_slice=False)
+            return
+        # In the right slice but this replica lacks the object (capacity,
+        # anti-entropy lag, or a read racing its write): try slice-mates.
+        node.metrics.inc("df.get.miss", node=node.id)
+        self._forward(msg, intra_slice=True)
+
+
+def _with_ttl(msg, ttl: int):
+    """A copy of a request dataclass with a new TTL (frozen dataclasses)."""
+    if isinstance(msg, PutRequest):
+        return PutRequest(
+            msg.key, msg.version, msg.value, msg.req_id, msg.attempt, msg.client_id, ttl
+        )
+    if isinstance(msg, GetRequest):
+        return GetRequest(
+            msg.key, msg.version, msg.req_id, msg.attempt, msg.client_id, ttl
+        )
+    raise TypeError(f"not a relayable request: {type(msg).__name__}")

@@ -1,0 +1,142 @@
+"""Client-side Load Balancer strategies (paper Sections V and VII).
+
+"The Load Balancer provides the Client Library with references to nodes
+that can answer client requests. [...] For now, the Load Balancer
+provides the client with a random contact node." Section VII then points
+at the optimisation space: "If the Load Balancer was able to know exactly
+which node to contact for each request, dissemination mechanisms would be
+reduced to the minimum. As this is not feasible in practice, cache
+mechanisms should be studied."
+
+Three strategies are provided; bench A3 compares them:
+
+* :class:`RandomLoadBalancer` — the paper's baseline,
+* :class:`RoundRobinLoadBalancer` — spreads load deterministically,
+* :class:`SliceAwareLoadBalancer` — the Section VII cache: it learns
+  ``(node, slice)`` pairs from acks/replies and routes a request for key
+  ``h`` straight to a known member of ``slice_for_key(h)`` when one is
+  cached, falling back to random otherwise.
+
+A *directory* callable supplies candidate contact nodes; in a real
+deployment the Load Balancer service is fed by the Peer Sampling Service
+of any DATAFLASKS node the client already knows (Figure 2), which is what
+the cluster builder wires up.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.keyspace import slice_for_key
+
+__all__ = [
+    "LoadBalancer",
+    "RandomLoadBalancer",
+    "RoundRobinLoadBalancer",
+    "SliceAwareLoadBalancer",
+]
+
+Directory = Callable[[], List[int]]
+
+
+class LoadBalancer:
+    """Strategy interface: pick a contact node for each request."""
+
+    def __init__(self, directory: Directory, rng: random.Random) -> None:
+        self._directory = directory
+        self._rng = rng
+
+    def candidates(self) -> List[int]:
+        """Current contactable node ids, sorted for determinism."""
+        return sorted(self._directory())
+
+    def pick(self, key: str, num_slices: int) -> Optional[int]:
+        """Choose the contact node for a request on ``key``."""
+        raise NotImplementedError
+
+    def note_responder(self, node_id: int, slice_id: Optional[int]) -> None:
+        """Feed back who answered and which slice it claimed (may be ignored)."""
+
+    def note_failure(self, node_id: int) -> None:
+        """Feed back that a contact did not answer (may be ignored)."""
+
+
+class RandomLoadBalancer(LoadBalancer):
+    """Uniformly random contact node — the paper's current strategy."""
+
+    def pick(self, key: str, num_slices: int) -> Optional[int]:
+        nodes = self.candidates()
+        if not nodes:
+            return None
+        return self._rng.choice(nodes)
+
+
+class RoundRobinLoadBalancer(LoadBalancer):
+    """Cycle through the directory."""
+
+    def __init__(self, directory: Directory, rng: random.Random) -> None:
+        super().__init__(directory, rng)
+        self._cursor = 0
+
+    def pick(self, key: str, num_slices: int) -> Optional[int]:
+        nodes = self.candidates()
+        if not nodes:
+            return None
+        node = nodes[self._cursor % len(nodes)]
+        self._cursor += 1
+        return node
+
+
+class SliceAwareLoadBalancer(LoadBalancer):
+    """Cache of slice membership learnt from replies (Section VII).
+
+    When a cached member of the key's target slice exists, contact it
+    directly — the request then needs only intra-slice dissemination.
+    Failed contacts are evicted so churn cannot poison the cache forever.
+    """
+
+    def __init__(self, directory: Directory, rng: random.Random, per_slice: int = 4) -> None:
+        super().__init__(directory, rng)
+        self.per_slice = per_slice
+        self._slice_members: Dict[int, List[int]] = defaultdict(list)
+        self._slice_of: Dict[int, int] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def pick(self, key: str, num_slices: int) -> Optional[int]:
+        target = slice_for_key(key, num_slices)
+        cached = self._slice_members.get(target)
+        if cached:
+            self.cache_hits += 1
+            return self._rng.choice(cached)
+        self.cache_misses += 1
+        nodes = self.candidates()
+        if not nodes:
+            return None
+        return self._rng.choice(nodes)
+
+    def note_responder(self, node_id: int, slice_id: Optional[int]) -> None:
+        if slice_id is None:
+            return
+        previous = self._slice_of.get(node_id)
+        if previous == slice_id:
+            return
+        if previous is not None and node_id in self._slice_members.get(previous, []):
+            self._slice_members[previous].remove(node_id)
+        self._slice_of[node_id] = slice_id
+        members = self._slice_members[slice_id]
+        if node_id not in members:
+            members.append(node_id)
+            while len(members) > self.per_slice:
+                members.pop(0)
+
+    def note_failure(self, node_id: int) -> None:
+        slice_id = self._slice_of.pop(node_id, None)
+        if slice_id is not None and node_id in self._slice_members.get(slice_id, []):
+            self._slice_members[slice_id].remove(node_id)
+
+    def cached_slices(self) -> Set[int]:
+        """Slices with at least one cached member (diagnostics)."""
+        return {s for s, members in self._slice_members.items() if members}

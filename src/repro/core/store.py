@@ -1,0 +1,154 @@
+"""Versioned object stores — the paper's "Data Store" abstraction.
+
+"The Data Store is an abstraction of the actual storing mechanism which
+can be the node hard disk or other persistence mechanism" (Section V).
+This module defines that abstraction (:class:`VersionedStore`) and the
+in-memory implementation; :mod:`repro.core.filestore` provides the
+disk-backed one.
+
+Objects are addressed by ``(key, version)``. Versions are totally ordered
+integers assigned by the upper layer (DATADROPLETS), so the store never
+resolves conflicts — it simply keeps the versions it is given (Section
+III: "DATAFLASKS does not need to take into account conflicts arising
+from concurrent operations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.errors import CapacityExceededError
+
+__all__ = ["StoredObject", "VersionedStore", "MemoryStore"]
+
+
+@dataclass(frozen=True)
+class StoredObject:
+    """One immutable object version."""
+
+    key: str
+    version: int
+    value: Any
+
+
+class VersionedStore:
+    """Interface every DATAFLASKS data store implements."""
+
+    def put(self, key: str, version: int, value: Any) -> bool:
+        """Store an object version.
+
+        Returns ``True`` if the version was new, ``False`` if it was
+        already present (idempotent re-put). Raises
+        :class:`~repro.errors.CapacityExceededError` when full.
+        """
+        raise NotImplementedError
+
+    def get(self, key: str, version: Optional[int] = None) -> Optional[StoredObject]:
+        """Fetch an exact version, or the latest when ``version`` is None."""
+        raise NotImplementedError
+
+    def delete(self, key: str, version: Optional[int] = None) -> int:
+        """Remove one version (or all versions of ``key``); returns count."""
+        raise NotImplementedError
+
+    def digest(self) -> FrozenSet[Tuple[str, int]]:
+        """The (key, version) pairs held — anti-entropy's currency."""
+        raise NotImplementedError
+
+    def keys(self) -> List[str]:
+        raise NotImplementedError
+
+    def versions(self, key: str) -> List[int]:
+        raise NotImplementedError
+
+    def items(self) -> Iterator[StoredObject]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        """Number of object versions held."""
+        raise NotImplementedError
+
+    def __contains__(self, entry: Tuple[str, int]) -> bool:
+        key, version = entry
+        return self.get(key, version) is not None
+
+    def close(self) -> None:
+        """Release resources (no-op for memory stores)."""
+
+
+class MemoryStore(VersionedStore):
+    """Dict-backed store with an optional object-count capacity.
+
+    The capacity models the limited per-node storage the paper slices the
+    system by: "Each node can replicate a limited number of objects which,
+    in turn, limits the number of objects a slice can hold" (Section IV-C).
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise CapacityExceededError("capacity must be positive or None")
+        self.capacity = capacity
+        self._data: Dict[str, Dict[int, Any]] = {}
+        self._count = 0
+
+    def put(self, key: str, version: int, value: Any) -> bool:
+        versions = self._data.get(key)
+        if versions is not None and version in versions:
+            return False
+        if self.capacity is not None and self._count >= self.capacity:
+            raise CapacityExceededError(
+                f"store full ({self._count}/{self.capacity} objects)"
+            )
+        if versions is None:
+            versions = {}
+            self._data[key] = versions
+        versions[version] = value
+        self._count += 1
+        return True
+
+    def get(self, key: str, version: Optional[int] = None) -> Optional[StoredObject]:
+        versions = self._data.get(key)
+        if not versions:
+            return None
+        if version is None:
+            version = max(versions)
+        if version not in versions:
+            return None
+        return StoredObject(key, version, versions[version])
+
+    def delete(self, key: str, version: Optional[int] = None) -> int:
+        versions = self._data.get(key)
+        if not versions:
+            return 0
+        if version is None:
+            removed = len(versions)
+            del self._data[key]
+        elif version in versions:
+            del versions[version]
+            removed = 1
+            if not versions:
+                del self._data[key]
+        else:
+            removed = 0
+        self._count -= removed
+        return removed
+
+    def digest(self) -> FrozenSet[Tuple[str, int]]:
+        return frozenset(
+            (key, version) for key, versions in self._data.items() for version in versions
+        )
+
+    def keys(self) -> List[str]:
+        return list(self._data)
+
+    def versions(self, key: str) -> List[int]:
+        return sorted(self._data.get(key, {}))
+
+    def items(self) -> Iterator[StoredObject]:
+        for key, versions in self._data.items():
+            for version, value in versions.items():
+                yield StoredObject(key, version, value)
+
+    def __len__(self) -> int:
+        return self._count

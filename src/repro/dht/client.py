@@ -1,0 +1,162 @@
+"""Client for the Chord DHT baseline.
+
+Mirrors the DATAFLASKS client API (:class:`~repro.core.client.PendingOp`
+results, timeouts, retries) so the churn-resilience bench can drive both
+systems with identical workload code. The client performs the iterative
+lookup itself, then talks to the key's owner (falling back to the
+replica list a fetch miss returns).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, List, Optional
+
+from repro.core.client import FAILED, GET, PENDING, PUT, SUCCEEDED, PendingOp
+from repro.dht.node import RingRef, iterative_lookup
+from repro.dht.ring import key_position
+from repro.dht.rpc import RpcService
+from repro.errors import ClientError
+from repro.sim.node import Node, SimContext
+
+__all__ = ["DhtClient"]
+
+
+class DhtClient(Node):
+    """put/get against a Chord ring through any contact node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        ctx: SimContext,
+        directory: Callable[[], List[int]],
+        timeout: float = 5.0,
+        retries: int = 2,
+    ) -> None:
+        super().__init__(node_id, ctx)
+        self._directory = directory
+        self.timeout = timeout
+        self.retries = retries
+        self.rpc = RpcService(timeout=timeout)
+        self.add_service(self.rpc)
+        self._next_seq = 0
+
+    # ----------------------------------------------------------------- API
+
+    def put(self, key: str, value: Any, version: int, acks_required: int = 1) -> PendingOp:
+        """Store through the key's owner (owner replicates to successors)."""
+        op = self._new_op(PUT, key, version, acks_required)
+        op.value_to_put = value
+        self._attempt_put(op)
+        return op
+
+    def get(self, key: str, version: Optional[int] = None) -> PendingOp:
+        """Fetch from the owner, falling over to its replica list."""
+        op = self._new_op(GET, key, version, acks_required=1)
+        self._attempt_get(op)
+        return op
+
+    # ------------------------------------------------------------- internal
+
+    def _new_op(self, kind: str, key: str, version: Optional[int], acks_required: int) -> PendingOp:
+        if not self.alive:
+            raise ClientError("client is not started")
+        req_id = (self.id, self._next_seq)
+        self._next_seq += 1
+        return PendingOp(kind, key, version, req_id, acks_required, self.now)
+
+    def _contact(self) -> Optional[int]:
+        nodes = sorted(self._directory())
+        if not nodes:
+            return None
+        return self.rng.choice(nodes)
+
+    def _retry(self, op: PendingOp, action: Callable[[PendingOp], None], error: str) -> None:
+        if op.done:
+            return
+        if op.attempts > self.retries:
+            self.metrics.inc(f"dht.client.{op.kind}.failed")
+            op._complete(FAILED, self.now, error=error)
+            return
+        op.attempts += 1
+        self.metrics.inc(f"dht.client.{op.kind}.retry")
+        action(op)
+
+    def _lookup(self, op: PendingOp, then: Callable[[PendingOp, RingRef], None],
+                retry: Callable[[PendingOp], None]) -> None:
+        contact = self._contact()
+        if contact is None:
+            op._complete(FAILED, self.now, error="no contact node available")
+            return
+        target = key_position(op.key)
+
+        def resolved(owner: Optional[RingRef]) -> None:
+            if op.done:
+                return
+            if owner is None:
+                self._retry(op, retry, "lookup failed")
+                return
+            then(op, owner)
+
+        iterative_lookup(self, self.rpc, contact, target, resolved)
+
+    # ----------------------------------------------------------------- put
+
+    def _attempt_put(self, op: PendingOp) -> None:
+        self._lookup(op, self._send_store, self._attempt_put)
+
+    def _send_store(self, op: PendingOp, owner: RingRef) -> None:
+        def stored(ok: bool, result: Any) -> None:
+            if op.done:
+                return
+            if ok and result:
+                op.acks.add(owner[1])
+                self.metrics.inc("dht.client.put.ok")
+                self.metrics.observe("dht.client.put.latency", self.now - op.started_at)
+                op._complete(SUCCEEDED, self.now)
+            else:
+                self._retry(op, self._attempt_put, "store rejected or timed out")
+
+        self.rpc.call(
+            owner[1],
+            "store_replicated",
+            (op.key, op.version, op.value_to_put),
+            on_reply=stored,
+        )
+
+    # ----------------------------------------------------------------- get
+
+    def _attempt_get(self, op: PendingOp) -> None:
+        self._lookup(op, lambda o, owner: self._fetch_chain(o, [owner[1]], set()),
+                     self._attempt_get)
+
+    def _fetch_chain(self, op: PendingOp, candidates: List[int], tried: set) -> None:
+        if op.done:
+            return
+        while candidates and candidates[0] in tried:
+            candidates.pop(0)
+        if not candidates:
+            self._retry(op, self._attempt_get, "object not found on any replica")
+            return
+        target = candidates.pop(0)
+        tried.add(target)
+
+        def fetched(ok: bool, result: Any) -> None:
+            if op.done:
+                return
+            if ok and result is not None and result[0]:
+                _found, version, value, _replicas = result
+                op.value = value
+                op.result_version = version
+                op.replies += 1
+                self.metrics.inc("dht.client.get.ok")
+                self.metrics.observe("dht.client.get.latency", self.now - op.started_at)
+                op._complete(SUCCEEDED, self.now)
+                return
+            more: List[int] = list(candidates)
+            if ok and result is not None:
+                replicas = result[3]
+                more.extend(ref[1] for ref in replicas if ref[1] not in tried)
+            self._fetch_chain(op, more, tried)
+
+        self.rpc.call(target, "fetch", (op.key, op.version), on_reply=fetched)

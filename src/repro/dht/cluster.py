@@ -1,0 +1,153 @@
+"""Deployment facade for the Chord baseline (mirror of DataFlasksCluster)."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.client import PendingOp
+from repro.dht.client import DhtClient
+from repro.dht.node import ChordNode
+from repro.errors import ConfigurationError, OperationTimeoutError
+from repro.sim.node import Node, SimContext
+from repro.sim.simulator import Simulation
+
+__all__ = ["DhtCluster"]
+
+
+class DhtCluster:
+    """A Chord ring plus clients, with the same driving helpers as
+    :class:`~repro.core.cluster.DataFlasksCluster` so benches can swap
+    the two systems behind one workload loop."""
+
+    def __init__(
+        self,
+        n: int,
+        replication: int = 3,
+        sim: Optional[Simulation] = None,
+        seed: int = 0,
+        successor_list_len: int = 8,
+    ) -> None:
+        if n <= 0:
+            raise ConfigurationError("cluster size must be positive")
+        self.sim = sim if sim is not None else Simulation(seed=seed)
+        self.replication = replication
+        self.servers: List[ChordNode] = []
+        self.clients: List[DhtClient] = []
+
+        def factory(node_id: int, ctx: SimContext) -> Node:
+            return ChordNode(
+                node_id,
+                ctx,
+                replication=replication,
+                successor_list_len=successor_list_len,
+            )
+
+        self._factory = factory
+        for _ in range(n):
+            node = self.sim.add_node(factory)
+            assert isinstance(node, ChordNode)
+            self.servers.append(node)
+        for node in self.servers:
+            node.start()
+        self._provision_ring()
+
+    def _provision_ring(self) -> None:
+        """Initial ring pointers from the deployment manifest.
+
+        A provisioned DHT starts from correct successor/predecessor
+        pointers (operators boot it from a known member list); dynamic
+        :meth:`ChordNode.join` is reserved for churn-time joiners. This
+        also puts the baseline at its best — the paper's argument is that
+        structured overlays degrade *under churn*, not at boot.
+        """
+        ring = sorted(self.servers, key=lambda s: s.pos)
+        n = len(ring)
+        for index, node in enumerate(ring):
+            chain = [ring[(index + j) % n] for j in range(1, n)]
+            node.successors = [
+                peer.ref() for peer in chain[: node.successor_list_len]
+            ] or [node.ref()]
+            node.predecessor = ring[(index - 1) % n].ref()
+
+    # -------------------------------------------------------------- helpers
+
+    def server_factory(self) -> Callable[[int, SimContext], Node]:
+        """Factory for churn joins: the node joins through a live member."""
+
+        def factory(node_id: int, ctx: SimContext) -> Node:
+            node = ChordNode(node_id, ctx, replication=self.replication)
+            self.servers.append(node)
+            alive = [s for s in self.servers if s.alive and s.id != node_id]
+            if alive:
+                node.after(0.1, node.join, alive[0].id)
+            return node
+
+        return factory
+
+    def directory(self) -> List[int]:
+        return [s.id for s in self.servers if s.alive]
+
+    def churn_controller(self, **kwargs):
+        """A ChurnController scoped to this ring's servers (not clients)."""
+        from repro.churn.controller import ChurnController
+
+        return ChurnController(
+            self.sim,
+            self.server_factory(),
+            eligible=lambda: [s for s in self.servers if s.alive],
+            **kwargs,
+        )
+
+    def new_client(self, timeout: float = 5.0, retries: int = 2) -> DhtClient:
+        def factory(node_id: int, ctx: SimContext) -> Node:
+            return DhtClient(node_id, ctx, self.directory, timeout=timeout, retries=retries)
+
+        client = self.sim.add_node(factory)
+        assert isinstance(client, DhtClient)
+        client.start()
+        self.clients.append(client)
+        return client
+
+    def stabilize(self, duration: float = 20.0) -> None:
+        """Let stabilisation and finger repair settle the ring."""
+        self.sim.run_for(duration)
+
+    def ring_is_consistent(self) -> bool:
+        """Do successor pointers form one cycle over all alive nodes?"""
+        alive = {s.id: s for s in self.servers if s.alive}
+        if not alive:
+            return False
+        start = min(alive)
+        seen = set()
+        current = start
+        while current not in seen:
+            seen.add(current)
+            node = alive.get(current)
+            if node is None:
+                return False
+            current = node.successor[1]
+        return current == start and seen == set(alive)
+
+    # ------------------------------------------------------------- sync ops
+
+    def run_op(self, op: PendingOp, timeout: float = 30.0) -> PendingOp:
+        self.sim.run_until_condition(lambda: op.done, timeout, check_interval=0.1)
+        if not op.done:
+            raise OperationTimeoutError(op.kind, op.key, timeout)
+        return op
+
+    def put_sync(self, client: DhtClient, key: str, value, version: int,
+                 timeout: float = 30.0) -> PendingOp:
+        return self.run_op(client.put(key, value, version), timeout)
+
+    def get_sync(self, client: DhtClient, key: str, version: Optional[int] = None,
+                 timeout: float = 30.0) -> PendingOp:
+        return self.run_op(client.get(key, version), timeout)
+
+    def replication_level(self, key: str, version: Optional[int] = None) -> int:
+        return sum(
+            1 for s in self.servers if s.alive and s.store.get(key, version) is not None
+        )
+
+    def server_message_load(self):
+        return self.sim.metrics.message_load(population=[s.id for s in self.servers])

@@ -1,0 +1,305 @@
+"""Chord-style DHT key-value node — the structured baseline.
+
+The paper's introduction argues that DHT-based tuple-stores "assume
+moderately stable environments" and degrade when "faults and churn
+become the rule". This module implements that comparator: a Chord ring
+(Stoica et al.) with successor lists, finger tables, periodic
+stabilisation, and successor-list replication, carrying the same
+versioned put/get API as DATAFLASKS so bench A4 can compare them under
+identical churn.
+
+Routing is *iterative*: the querier repeatedly asks ``route_step`` until
+an owner is found (handlers stay synchronous). Replication: the key's
+owner stores and pushes copies to its ``replication - 1`` successors;
+a periodic repair round re-pushes owned keys so replicas follow ring
+membership.
+
+Known, documented simplification: no key handoff on *join* (a joiner
+acquires data through the owners' repair rounds rather than an explicit
+transfer), which matches the repair-based recovery DATAFLASKS uses and
+keeps the comparison symmetric.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.core.store import MemoryStore, VersionedStore
+from repro.dht.ring import (
+    RING_BITS,
+    finger_target,
+    in_interval,
+    node_position,
+    key_position,
+)
+from repro.dht.rpc import RpcService
+from repro.sim.node import Node, SimContext
+
+__all__ = ["ChordNode", "iterative_lookup", "RingRef"]
+
+RingRef = Tuple[int, int]  # (position, node id)
+
+# route_step outcomes
+OWNER = "owner"
+NEXT = "next"
+
+
+def iterative_lookup(
+    node: Node,
+    rpc: RpcService,
+    start: int,
+    target: int,
+    callback: Callable[[Optional[RingRef]], None],
+    max_hops: int = 3 * RING_BITS,
+    hop_counter: Optional[List[int]] = None,
+) -> None:
+    """Drive an iterative Chord lookup from any node (server or client).
+
+    Asks ``start`` for a route step and follows ``next`` referrals until
+    an ``owner`` is returned; ``callback(None)`` on routing failure
+    (timeout, loop, or hop exhaustion). When ``hop_counter`` is given the
+    number of route steps taken is appended to it (used by tests and the
+    hop-count diagnostics).
+    """
+
+    def step(current: int, hops: int) -> None:
+        if hops > max_hops:
+            finish(None, hops)
+            return
+        rpc.call(current, "route_step", (target,), on_reply=lambda ok, res: advance(ok, res, hops))
+
+    def advance(ok: bool, result: Any, hops: int) -> None:
+        if not ok or result is None:
+            finish(None, hops)
+            return
+        kind, ref = result
+        if kind == OWNER:
+            finish(tuple(ref), hops + 1)
+            return
+        next_id = ref[1]
+        step(next_id, hops + 1)
+
+    def finish(owner: Optional[RingRef], hops: int) -> None:
+        if hop_counter is not None:
+            hop_counter.append(hops)
+        callback(owner)
+
+    step(start, 0)
+
+
+class ChordNode(Node):
+    """One ring member with a versioned local store."""
+
+    def __init__(
+        self,
+        node_id: int,
+        ctx: SimContext,
+        replication: int = 3,
+        successor_list_len: int = 4,
+        stabilize_period: float = 1.0,
+        repair_period: float = 4.0,
+        fingers_per_round: int = 4,
+        store: Optional[VersionedStore] = None,
+    ) -> None:
+        super().__init__(node_id, ctx)
+        self.pos = node_position(node_id)
+        self.replication = replication
+        self.successor_list_len = successor_list_len
+        self.stabilize_period = stabilize_period
+        self.repair_period = repair_period
+        self.fingers_per_round = fingers_per_round
+        self.store = store if store is not None else MemoryStore()
+        self.successors: List[RingRef] = [(self.pos, self.id)]  # [0] = successor
+        self.predecessor: Optional[RingRef] = None
+        self.fingers: dict = {}
+        self._next_finger = 0
+        self.rpc = RpcService()
+        self.add_service(self.rpc)
+        for method, handler in (
+            ("route_step", self._rpc_route_step),
+            ("get_neighbors", self._rpc_get_neighbors),
+            ("notify", self._rpc_notify),
+            ("ping", self._rpc_ping),
+            ("store", self._rpc_store),
+            ("store_replicated", self._rpc_store_replicated),
+            ("fetch", self._rpc_fetch),
+        ):
+            self.rpc.register(method, handler)
+
+    # ----------------------------------------------------------- lifecycle
+
+    def on_start(self) -> None:
+        self.every(self.stabilize_period, self._stabilize)
+        self.every(self.stabilize_period, self._check_predecessor)
+        self.every(self.stabilize_period, self._fix_fingers)
+        self.every(self.repair_period, self._repair)
+
+    def join(self, contact: int) -> None:
+        """Join the ring known to ``contact``."""
+        iterative_lookup(self, self.rpc, contact, self.pos, self._joined)
+
+    def _joined(self, owner: Optional[RingRef]) -> None:
+        if owner is not None and owner[1] != self.id:
+            self.successors = [owner]
+
+    # --------------------------------------------------------------- refs
+
+    def ref(self) -> RingRef:
+        return (self.pos, self.id)
+
+    @property
+    def successor(self) -> RingRef:
+        return self.successors[0] if self.successors else self.ref()
+
+    def _alive_filter(self, refs: List[RingRef]) -> List[RingRef]:
+        seen = set()
+        out = []
+        for ref in refs:
+            if ref[1] != self.id and ref[1] not in seen:
+                seen.add(ref[1])
+                out.append(tuple(ref))
+        return out
+
+    # ------------------------------------------------------------- routing
+
+    def _closest_preceding(self, target: int) -> RingRef:
+        best: Optional[RingRef] = None
+        candidates = list(self.fingers.values()) + self.successors
+        for ref in candidates:
+            pos = ref[0]
+            if in_interval(pos, self.pos, target):
+                if best is None or in_interval(pos, best[0], target):
+                    best = tuple(ref)
+        return best if best is not None else self.successor
+
+    def _rpc_route_step(self, args: tuple, src: int):
+        (target,) = args
+        if target == self.pos:
+            return (OWNER, self.ref())
+        if self.predecessor is not None and in_interval(
+            target, self.predecessor[0], self.pos, inclusive_end=True
+        ):
+            return (OWNER, self.ref())
+        succ = self.successor
+        if succ[1] == self.id:
+            return (OWNER, self.ref())  # single-node ring
+        if in_interval(target, self.pos, succ[0], inclusive_end=True):
+            return (OWNER, succ)
+        nxt = self._closest_preceding(target)
+        if nxt[1] == self.id:
+            return (OWNER, self.ref())
+        return (NEXT, nxt)
+
+    # -------------------------------------------------------- stabilization
+
+    def _stabilize(self) -> None:
+        succ = self.successor
+        if succ[1] == self.id:
+            return
+        self.rpc.call(succ[1], "get_neighbors", (), on_reply=self._on_neighbors)
+
+    def _on_neighbors(self, ok: bool, result: Any) -> None:
+        if not ok:
+            # Successor unresponsive: promote the next live candidate.
+            self.metrics.inc("dht.successor_failover", node=self.id)
+            if len(self.successors) > 1:
+                self.successors = self.successors[1:]
+            else:
+                self.successors = [self.ref()]
+            return
+        pred, succ_list = result
+        succ = self.successor
+        if pred is not None and in_interval(pred[0], self.pos, succ[0]):
+            succ = tuple(pred)
+        chain = [succ] + [tuple(r) for r in succ_list]
+        self.successors = self._alive_filter(chain)[: self.successor_list_len] or [self.ref()]
+        self.rpc.call(self.successor[1], "notify", (self.ref(),))
+
+    def _rpc_get_neighbors(self, args: tuple, src: int):
+        return (self.predecessor, self.successors)
+
+    def _rpc_notify(self, args: tuple, src: int):
+        (candidate,) = args
+        candidate = tuple(candidate)
+        if candidate[1] == self.id:
+            return False
+        if self.predecessor is None or in_interval(
+            candidate[0], self.predecessor[0], self.pos
+        ):
+            self.predecessor = candidate
+        return True
+
+    def _rpc_ping(self, args: tuple, src: int):
+        return "pong"
+
+    def _check_predecessor(self) -> None:
+        """Clear a dead predecessor so stabilisation stops re-adopting it."""
+        if self.predecessor is None:
+            return
+        pred = self.predecessor
+
+        def answered(ok: bool, result) -> None:
+            if not ok and self.predecessor == pred:
+                self.predecessor = None
+                self.metrics.inc("dht.predecessor_cleared", node=self.id)
+
+        self.rpc.call(pred[1], "ping", (), on_reply=answered)
+
+    def _fix_fingers(self) -> None:
+        for _ in range(self.fingers_per_round):
+            index = self._next_finger
+            self._next_finger = (self._next_finger + 1) % RING_BITS
+            target = finger_target(self.pos, index)
+            iterative_lookup(
+                self,
+                self.rpc,
+                self.id,
+                target,
+                lambda owner, i=index: self._set_finger(i, owner),
+            )
+
+    def _set_finger(self, index: int, owner: Optional[RingRef]) -> None:
+        if owner is None:
+            self.fingers.pop(index, None)
+        elif owner[1] != self.id:
+            self.fingers[index] = owner
+
+    # ------------------------------------------------------------- storage
+
+    def _owns(self, position: int) -> bool:
+        if self.predecessor is None:
+            return True  # best effort before the ring settles
+        return in_interval(position, self.predecessor[0], self.pos, inclusive_end=True)
+
+    def _rpc_store(self, args: tuple, src: int):
+        key, version, value = args
+        return self.store.put(key, version, value)
+
+    def _rpc_store_replicated(self, args: tuple, src: int):
+        key, version, value = args
+        self.store.put(key, version, value)
+        for ref in self.successors[: self.replication - 1]:
+            if ref[1] != self.id:
+                self.rpc.call(ref[1], "store", (key, version, value))
+        return True
+
+    def _rpc_fetch(self, args: tuple, src: int):
+        key, version = args
+        obj = self.store.get(key, version)
+        replicas = [r for r in self.successors[: self.replication - 1]]
+        if obj is None:
+            return (False, None, None, replicas)
+        return (True, obj.version, obj.value, replicas)
+
+    def _repair(self) -> None:
+        """Re-push owned keys to the current successor set."""
+        for key in self.store.keys():
+            if not self._owns(key_position(key)):
+                continue
+            for version in self.store.versions(key):
+                obj = self.store.get(key, version)
+                if obj is None:
+                    continue
+                for ref in self.successors[: self.replication - 1]:
+                    if ref[1] != self.id:
+                        self.rpc.call(ref[1], "store", (obj.key, obj.version, obj.value))

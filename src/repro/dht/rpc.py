@@ -1,0 +1,119 @@
+"""Minimal request/reply RPC layer for the DHT baseline.
+
+Structured overlays are RPC-shaped (find_successor, notify, store…),
+unlike gossip's fire-and-forget messages. This service gives the Chord
+implementation named methods, reply correlation and timeouts on top of
+the simulated network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.node import Service
+
+__all__ = ["RpcRequest", "RpcReply", "RpcService"]
+
+
+@dataclass(frozen=True)
+class RpcRequest:
+    rpc_id: Tuple[int, int]  # (caller id, caller-local sequence)
+    method: str
+    args: tuple
+
+
+@dataclass(frozen=True)
+class RpcReply:
+    rpc_id: Tuple[int, int]
+    ok: bool
+    result: Any
+
+
+class RpcService(Service):
+    """Named-method RPC with per-call timeouts.
+
+    Handlers are ``fn(args, src) -> result``; raising inside a handler
+    produces a ``ok=False`` reply carrying the error string. Callers pass
+    ``on_reply(ok, result)``; a timeout fires it once with
+    ``(False, 'timeout')``.
+    """
+
+    name = "rpc"
+
+    def __init__(self, timeout: float = 2.0) -> None:
+        super().__init__()
+        if timeout <= 0:
+            raise ConfigurationError("rpc timeout must be positive")
+        self.timeout = timeout
+        self._methods: Dict[str, Callable[[tuple, int], Any]] = {}
+        self._pending: Dict[Tuple[int, int], Callable[[bool, Any], None]] = {}
+        self._next_seq = 0
+
+    # ----------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        node = self.node
+        assert node is not None
+        node.register_handler(RpcRequest, self._on_request)
+        node.register_handler(RpcReply, self._on_reply)
+
+    def stop(self) -> None:
+        node = self.node
+        assert node is not None
+        node.unregister_handler(RpcRequest)
+        node.unregister_handler(RpcReply)
+        self._pending.clear()
+
+    # ----------------------------------------------------------------- API
+
+    def register(self, method: str, handler: Callable[[tuple, int], Any]) -> None:
+        if method in self._methods:
+            raise ConfigurationError(f"rpc method {method!r} already registered")
+        self._methods[method] = handler
+
+    def call(
+        self,
+        dst: int,
+        method: str,
+        args: tuple = (),
+        on_reply: Optional[Callable[[bool, Any], None]] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Invoke ``method`` on node ``dst``."""
+        node = self.node
+        assert node is not None
+        rpc_id = (node.id, self._next_seq)
+        self._next_seq += 1
+        if on_reply is not None:
+            self._pending[rpc_id] = on_reply
+            node.after(timeout if timeout is not None else self.timeout,
+                       self._on_timeout, rpc_id)
+        node.send(dst, RpcRequest(rpc_id, method, args))
+
+    # ------------------------------------------------------------ internals
+
+    def _on_request(self, msg: RpcRequest, src: int) -> None:
+        node = self.node
+        assert node is not None
+        handler = self._methods.get(msg.method)
+        if handler is None:
+            node.send(src, RpcReply(msg.rpc_id, False, f"no such method {msg.method!r}"))
+            return
+        try:
+            result = handler(msg.args, src)
+        except Exception as exc:  # handler bug or rejected call
+            node.send(src, RpcReply(msg.rpc_id, False, str(exc)))
+            return
+        node.send(src, RpcReply(msg.rpc_id, True, result))
+
+    def _on_reply(self, msg: RpcReply, src: int) -> None:
+        callback = self._pending.pop(msg.rpc_id, None)
+        if callback is not None:
+            callback(msg.ok, msg.result)
+
+    def _on_timeout(self, rpc_id: Tuple[int, int]) -> None:
+        callback = self._pending.pop(rpc_id, None)
+        if callback is not None:
+            callback(False, "timeout")

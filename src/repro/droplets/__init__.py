@@ -1,0 +1,9 @@
+"""DATADROPLETS-lite: the STRATUS soft-state layer over DATAFLASKS.
+
+Supplies the contract the substrate assumes from above — totally ordered
+version stamps, client interface, caching, crash-rebuildable soft state.
+"""
+
+from repro.droplets.session import DropletsSession
+
+__all__ = ["DropletsSession"]

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the common cases.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state."""
+
+
+class NodeDownError(SimulationError):
+    """An operation was attempted on a node that is not running."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(f"node {node_id} is not running")
+        self.node_id = node_id
+
+
+class UnknownNodeError(SimulationError):
+    """A message was addressed to a node id the network has never seen."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(f"node id {node_id} is not registered with the network")
+        self.node_id = node_id
+
+
+class ConfigurationError(ReproError):
+    """A protocol or cluster was configured with invalid parameters."""
+
+
+class StoreError(ReproError):
+    """The data store rejected an operation."""
+
+
+class CapacityExceededError(StoreError):
+    """A node-local store refused a write because it is full."""
+
+
+class ClientError(ReproError):
+    """A client-visible operation failed."""
+
+
+class OperationTimeoutError(ClientError):
+    """A client operation did not complete within its timeout."""
+
+    def __init__(self, op: str, key: str, timeout: float) -> None:
+        super().__init__(f"{op}({key!r}) timed out after {timeout:.3f}s of simulated time")
+        self.op = op
+        self.key = key
+        self.timeout = timeout

@@ -1,0 +1,44 @@
+"""Anti-entropy set reconciliation primitives.
+
+Pure functions shared by the DATAFLASKS replication service (and usable
+by any digest-exchanging protocol): given two *digests* — the sets of
+(key, version) pairs two replicas hold — compute what each side is
+missing. Keeping this logic pure makes the exchange protocol in
+:mod:`repro.core.replication` a thin messaging shell that is easy to
+test exhaustively (including with hypothesis).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Iterable, Set, Tuple
+
+__all__ = ["Digest", "missing_from", "diff", "merge_digests"]
+
+# A digest entry identifies one stored object version.
+Digest = FrozenSet[Tuple[str, int]]
+
+
+def make_digest(entries: Iterable[Tuple[str, int]]) -> Digest:
+    """Normalise an iterable of (key, version) pairs into a digest."""
+    return frozenset(entries)
+
+
+def missing_from(local: AbstractSet[Tuple[str, int]], remote: AbstractSet[Tuple[str, int]]) -> Set[Tuple[str, int]]:
+    """Entries the *local* replica lacks: present remotely, absent locally."""
+    return set(remote) - set(local)
+
+
+def diff(
+    a: AbstractSet[Tuple[str, int]], b: AbstractSet[Tuple[str, int]]
+) -> Tuple[Set[Tuple[str, int]], Set[Tuple[str, int]]]:
+    """(what A is missing, what B is missing) in one call."""
+    a_set, b_set = set(a), set(b)
+    return b_set - a_set, a_set - b_set
+
+
+def merge_digests(*digests: AbstractSet[Tuple[str, int]]) -> Digest:
+    """Union of digests — the state a fully converged slice would hold."""
+    merged: Set[Tuple[str, int]] = set()
+    for digest in digests:
+        merged |= set(digest)
+    return frozenset(merged)

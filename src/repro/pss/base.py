@@ -1,0 +1,55 @@
+"""Peer Sampling Service interface.
+
+Every PSS implementation (Cyclon, Newscast) exposes the same small API so
+that the protocols layered on top — slicing, dissemination, DATAFLASKS
+itself — are implementation-agnostic, matching the paper's architecture
+where the Peer Sampling Service is one pluggable box (Figure 2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.pss.view import NodeDescriptor, PartialView
+from repro.sim.node import Service
+
+__all__ = ["PeerSamplingService"]
+
+
+class PeerSamplingService(Service):
+    """Abstract PSS: a continuously refreshed random partial view."""
+
+    name = "pss"
+
+    def __init__(self, view_size: int, period: float) -> None:
+        super().__init__()
+        self.view_size = view_size
+        self.period = period
+        self.view = PartialView(view_size)
+        self.rounds = 0
+
+    # -------------------------------------------------------------- queries
+
+    def peers(self) -> List[int]:
+        """Current neighbour ids (a uniformly random sample at convergence)."""
+        return self.view.ids()
+
+    def random_peer(self, rng: Optional[random.Random] = None) -> Optional[int]:
+        """One random neighbour id, or ``None`` if the view is empty."""
+        assert self.node is not None, "service not attached"
+        return self.view.random_id(rng or self.node.rng)
+
+    def sample(self, count: int, rng: Optional[random.Random] = None) -> List[int]:
+        """Up to ``count`` distinct random neighbour ids."""
+        assert self.node is not None, "service not attached"
+        return self.view.sample_ids(rng or self.node.rng, count)
+
+    # ------------------------------------------------------------ bootstrap
+
+    def bootstrap(self, seeds: List[int]) -> None:
+        """Seed the view with initial contacts (excluding ourselves)."""
+        assert self.node is not None, "service not attached"
+        for node_id in seeds:
+            if node_id != self.node.id:
+                self.view.add(NodeDescriptor(node_id, age=0))

@@ -1,0 +1,106 @@
+"""Newscast: a robust gossip membership protocol.
+
+The second PSS the paper cites (reference [10]). Simpler than Cyclon:
+each round a node picks a *random* neighbour, both exchange their full
+views plus a fresh self-descriptor, and each keeps the ``view_size``
+*freshest* entries of the union.
+
+Newscast converges very fast and is extremely robust, at the cost of a
+less uniform in-degree distribution than Cyclon — exactly the trade-off
+bench A6 (`bench_pss_quality`) measures.
+
+Here descriptor ``age`` plays the role of Newscast's inverted timestamp:
+lower age == fresher news.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.pss.base import PeerSamplingService
+from repro.pss.view import NodeDescriptor, PartialView
+
+__all__ = ["NewscastService", "NewsExchange", "NewsReply"]
+
+
+@dataclass(frozen=True)
+class NewsExchange:
+    """Full-view push from the round initiator."""
+
+    descriptors: Tuple[NodeDescriptor, ...]
+
+
+@dataclass(frozen=True)
+class NewsReply:
+    """Full-view answer from the passive peer."""
+
+    descriptors: Tuple[NodeDescriptor, ...]
+
+
+class NewscastService(PeerSamplingService):
+    """Newscast PSS as a node service."""
+
+    name = "newscast"
+
+    def __init__(self, view_size: int = 20, period: float = 1.0) -> None:
+        super().__init__(view_size, period)
+
+    def start(self) -> None:
+        node = self.node
+        assert node is not None
+        node.register_handler(NewsExchange, self._on_exchange)
+        node.register_handler(NewsReply, self._on_reply)
+        self._timer = node.every(self.period, self._round)
+
+    def stop(self) -> None:
+        node = self.node
+        assert node is not None
+        node.unregister_handler(NewsExchange)
+        node.unregister_handler(NewsReply)
+
+    # -------------------------------------------------------------- rounds
+
+    def _payload(self) -> Tuple[NodeDescriptor, ...]:
+        node = self.node
+        assert node is not None
+        return tuple([NodeDescriptor(node.id, 0)] + self.view.descriptors())
+
+    def _round(self) -> None:
+        node = self.node
+        assert node is not None
+        self.rounds += 1
+        self.view.increase_ages()
+        peer = self.view.random_id(node.rng)
+        if peer is None:
+            return
+        node.send(peer, NewsExchange(self._payload()))
+
+    def _keep_freshest(self, received: Tuple[NodeDescriptor, ...]) -> None:
+        """Merge union of views, keeping the ``view_size`` freshest entries.
+
+        Ties at the cut-off age are broken randomly — a deterministic
+        id-ordered cut would systematically favour low ids and skew the
+        overlay's in-degree distribution.
+        """
+        node = self.node
+        assert node is not None
+        pool = {}
+        for descriptor in list(self.view.descriptors()) + list(received):
+            if descriptor.node_id == node.id:
+                continue
+            current = pool.get(descriptor.node_id)
+            if current is None or descriptor.age < current.age:
+                pool[descriptor.node_id] = descriptor
+        ordered = sorted(pool.values(), key=lambda d: (d.age, d.node_id))
+        freshest = sorted(ordered, key=lambda d: (d.age, node.rng.random()))[: self.view_size]
+        self.view = PartialView(self.view_size, freshest)
+
+    def _on_exchange(self, msg: NewsExchange, src: int) -> None:
+        node = self.node
+        assert node is not None
+        node.send(src, NewsReply(self._payload()))
+        self._keep_freshest(msg.descriptors)
+
+    def _on_reply(self, msg: NewsReply, src: int) -> None:
+        self._keep_freshest(msg.descriptors)

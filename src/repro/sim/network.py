@@ -1,0 +1,188 @@
+"""Simulated message-passing network.
+
+Delivers messages between registered nodes with configurable latency,
+random loss and network partitions. Every send/delivery is accounted in
+the :class:`~repro.sim.metrics.MetricsRegistry`, both globally
+(``msg.sent`` / ``msg.received``) and per message type
+(``msg.sent.<Type>``), because per-node message load is the metric the
+paper's evaluation reports.
+
+Semantics (matching the fault model of epidemic protocols):
+
+* messages to dead or unknown nodes are silently dropped (gossip protocols
+  must tolerate this; there is no connection abstraction),
+* loss is Bernoulli per message,
+* a partition divides nodes into groups; cross-group messages are dropped,
+* latency is drawn per message from a pluggable :class:`LatencyModel`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.scheduler import Scheduler
+
+__all__ = [
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "LogNormalLatency",
+    "Network",
+]
+
+
+class LatencyModel:
+    """Strategy object producing one-way message latencies (seconds)."""
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        """Latency for one message from ``src`` to ``dst``."""
+        raise NotImplementedError
+
+
+class FixedLatency(LatencyModel):
+    """Constant latency for every message."""
+
+    def __init__(self, latency: float = 0.01) -> None:
+        if latency < 0:
+            raise ConfigurationError("latency must be non-negative")
+        self.latency = latency
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        return self.latency
+
+
+class UniformLatency(LatencyModel):
+    """Latency drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float = 0.005, high: float = 0.05) -> None:
+        if not 0 <= low <= high:
+            raise ConfigurationError("require 0 <= low <= high")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class LogNormalLatency(LatencyModel):
+    """Heavy-tailed latency, the classic WAN approximation.
+
+    ``median`` is the median latency; ``sigma`` controls tail weight.
+    """
+
+    def __init__(self, median: float = 0.02, sigma: float = 0.5, cap: float = 2.0) -> None:
+        if median <= 0 or sigma < 0 or cap <= 0:
+            raise ConfigurationError("median/cap must be positive and sigma non-negative")
+        import math
+
+        self._mu = math.log(median)
+        self.sigma = sigma
+        self.cap = cap
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        return min(rng.lognormvariate(self._mu, self.sigma), self.cap)
+
+
+class Network:
+    """Message router between simulated nodes.
+
+    Nodes register a delivery callback; :meth:`send` schedules delivery
+    through the shared :class:`~repro.sim.scheduler.Scheduler`.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        rng: random.Random,
+        metrics: MetricsRegistry,
+        latency_model: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ConfigurationError("loss_rate must be in [0, 1)")
+        self.scheduler = scheduler
+        self.rng = rng
+        self.metrics = metrics
+        self.latency_model = latency_model or FixedLatency()
+        self.loss_rate = loss_rate
+        self._delivery: Dict[int, Callable[[Any, int], None]] = {}
+        self._group_of: Dict[int, int] = {}
+        self._partitioned = False
+
+    # ---------------------------------------------------------- membership
+
+    def register(self, node_id: int, deliver: Callable[[Any, int], None]) -> None:
+        """Attach a node's delivery callback. Re-registering replaces it."""
+        self._delivery[node_id] = deliver
+
+    def unregister(self, node_id: int) -> None:
+        """Detach a node; in-flight messages to it will be dropped."""
+        self._delivery.pop(node_id, None)
+
+    def is_registered(self, node_id: int) -> bool:
+        return node_id in self._delivery
+
+    @property
+    def registered_ids(self) -> List[int]:
+        return list(self._delivery)
+
+    # ---------------------------------------------------------- partitions
+
+    def set_partitions(self, groups: Iterable[Iterable[int]]) -> None:
+        """Partition the network: messages between different groups drop.
+
+        Nodes not mentioned in any group form an implicit extra group.
+        """
+        self._group_of = {}
+        for index, group in enumerate(groups):
+            for node_id in group:
+                self._group_of[node_id] = index
+        self._partitioned = bool(self._group_of)
+
+    def heal_partitions(self) -> None:
+        """Remove any partition; full connectivity is restored."""
+        self._group_of = {}
+        self._partitioned = False
+
+    def _crosses_partition(self, src: int, dst: int) -> bool:
+        if not self._partitioned:
+            return False
+        default = -1
+        return self._group_of.get(src, default) != self._group_of.get(dst, default)
+
+    # -------------------------------------------------------------- sending
+
+    def send(self, src: int, dst: int, msg: Any) -> bool:
+        """Send ``msg`` from ``src`` to ``dst``.
+
+        Returns ``True`` if the message was put on the wire (it may still be
+        lost or find the destination dead on arrival); ``False`` if it was
+        dropped immediately (self-send of network messages is allowed and
+        delivered with normal latency).
+        """
+        kind = type(msg).__name__
+        self.metrics.inc("msg.sent", node=src)
+        self.metrics.inc(f"msg.sent.{kind}")
+        if self._crosses_partition(src, dst):
+            self.metrics.inc("msg.dropped.partition")
+            return False
+        if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
+            self.metrics.inc("msg.dropped.loss")
+            return False
+        latency = self.latency_model.sample(self.rng, src, dst)
+        self.scheduler.schedule(latency, self._deliver, src, dst, msg, kind)
+        return True
+
+    def _deliver(self, src: int, dst: int, msg: Any, kind: str) -> None:
+        deliver = self._delivery.get(dst)
+        if deliver is None:
+            # Destination died (or never existed) while the message was in
+            # flight — epidemic protocols tolerate this silently.
+            self.metrics.inc("msg.dropped.dead")
+            return
+        self.metrics.inc("msg.received", node=dst)
+        self.metrics.inc(f"msg.received.{kind}")
+        deliver(msg, src)

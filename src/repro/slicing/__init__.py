@@ -1,0 +1,41 @@
+"""Distributed slicing protocols (paper Sections II, IV-A, V).
+
+* :class:`~repro.slicing.dslead.DSleadSlicing` — steady low-memory rank
+  estimation; the default Slice Manager, standing in for DSlead [17]
+* :class:`~repro.slicing.ordered.OrderedSlicing` — Jelasity–Kermarrec
+  random-value swapping [13]
+* :class:`~repro.slicing.sliver.SliverSlicing` — Sliver-style rank
+  sampling [12]
+* :class:`~repro.slicing.static.StaticSlicing` — hash "coin toss" baseline
+* :mod:`repro.slicing.metrics` — partition-quality measurements
+"""
+
+from repro.slicing.base import SlicingService
+from repro.slicing.dslead import DSleadSlicing
+from repro.slicing.metrics import (
+    assignment_accuracy,
+    ideal_assignments,
+    slice_assignments,
+    slice_histogram,
+    slice_imbalance,
+    unassigned_fraction,
+)
+from repro.slicing.ordered import OrderedSlicing
+from repro.slicing.sliver import SliverSlicing
+from repro.slicing.static import StaticSlicing, hash_slice
+
+__all__ = [
+    "DSleadSlicing",
+    "OrderedSlicing",
+    "SliverSlicing",
+    "SlicingService",
+    "StaticSlicing",
+    "assignment_accuracy",
+    "hash_slice",
+    "ideal_assignments",
+    "slice_assignments",
+    "slice_histogram",
+    "slice_imbalance",
+    "slice_imbalance",
+    "unassigned_fraction",
+]

@@ -1,0 +1,98 @@
+"""Distributed slicing service interface (paper Sections II & IV-A).
+
+Slicing autonomously partitions the system into ``k`` groups ("slices")
+ordered by a locally measured node attribute — DATAFLASKS slices by
+storage capacity so that nodes with less capacity land in slices holding
+less data. Each implementation continuously estimates which slice its
+node belongs to, with **no global knowledge**, adapting under churn.
+
+The contract consumed by the DataFlasks core:
+
+* :meth:`my_slice` — current slice index in ``[0, num_slices)``
+* :attr:`num_slices` — the configured ``k`` (dynamically adjustable,
+  which the paper highlights as the door to autonomous replication
+  management)
+* :meth:`on_slice_change` — subscribe to reassignments (used for state
+  transfer / garbage collection)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.node import Service
+
+__all__ = ["SlicingService"]
+
+SliceChangeCallback = Callable[[int, int], None]  # (old_slice, new_slice)
+
+
+class SlicingService(Service):
+    """Abstract slicing protocol.
+
+    :param num_slices: the number of slices ``k``.
+    :param attribute: this node's locally measured attribute (e.g. storage
+        capacity). Ties are broken by node id so the induced order is total.
+    """
+
+    name = "slicing"
+
+    def __init__(self, num_slices: int, attribute: float) -> None:
+        super().__init__()
+        if num_slices <= 0:
+            raise ConfigurationError("num_slices must be positive")
+        self._num_slices = num_slices
+        self.attribute = attribute
+        self._slice: Optional[int] = None
+        self._callbacks: List[SliceChangeCallback] = []
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def num_slices(self) -> int:
+        return self._num_slices
+
+    def my_slice(self) -> Optional[int]:
+        """Current slice index, or ``None`` before the first estimate."""
+        return self._slice
+
+    def sort_key(self) -> tuple:
+        """The totally ordered value slicing sorts by."""
+        assert self.node is not None
+        return (self.attribute, self.node.id)
+
+    # ------------------------------------------------------------- dynamics
+
+    def set_num_slices(self, num_slices: int) -> None:
+        """Reconfigure ``k`` at runtime; the estimate is recomputed."""
+        if num_slices <= 0:
+            raise ConfigurationError("num_slices must be positive")
+        self._num_slices = num_slices
+        self._recompute()
+
+    def on_slice_change(self, callback: SliceChangeCallback) -> None:
+        """Register ``callback(old_slice, new_slice)`` for reassignments."""
+        self._callbacks.append(callback)
+
+    # ----------------------------------------------------- subclass helpers
+
+    def _set_slice(self, new_slice: int) -> None:
+        """Record a new estimate, firing callbacks if it changed."""
+        new_slice = max(0, min(self._num_slices - 1, new_slice))
+        old = self._slice
+        if new_slice == old:
+            return
+        self._slice = new_slice
+        for callback in self._callbacks:
+            callback(-1 if old is None else old, new_slice)
+
+    def _slice_from_fraction(self, fraction: float) -> int:
+        """Map a rank fraction in [0, 1] to a slice index."""
+        return max(0, min(self._num_slices - 1, int(fraction * self._num_slices)))
+
+    def _recompute(self) -> None:
+        """Recompute the slice estimate after a reconfiguration.
+
+        Subclasses with an internal estimate override this.
+        """

@@ -1,0 +1,116 @@
+"""Slicing-quality metrics.
+
+Used by tests and bench A1 to compare the protocols: how close is the
+emergent partition to the ideal rank-based one, how balanced are slices,
+and how often do nodes flap between slices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.sim.node import Node
+from repro.slicing.base import SlicingService
+
+__all__ = [
+    "slice_assignments",
+    "ideal_assignments",
+    "assignment_accuracy",
+    "slice_histogram",
+    "slice_imbalance",
+    "unassigned_fraction",
+]
+
+
+def _services(
+    nodes: Sequence[Node], service_cls: Type[SlicingService]
+) -> List[Tuple[Node, SlicingService]]:
+    pairs = []
+    for node in nodes:
+        if not node.alive:
+            continue
+        service = node.get_service(service_cls)
+        if service is not None:
+            pairs.append((node, service))
+    return pairs
+
+
+def slice_assignments(
+    nodes: Sequence[Node], service_cls: Type[SlicingService] = SlicingService
+) -> Dict[int, Optional[int]]:
+    """node id -> currently estimated slice (alive nodes only)."""
+    return {node.id: svc.my_slice() for node, svc in _services(nodes, service_cls)}
+
+
+def ideal_assignments(
+    nodes: Sequence[Node], service_cls: Type[SlicingService] = SlicingService
+) -> Dict[int, int]:
+    """node id -> the slice a global sort by attribute would assign.
+
+    Rank r out of N maps to slice ``floor(r * k / N)`` — the fixed point
+    every slicing protocol is converging towards.
+    """
+    pairs = _services(nodes, service_cls)
+    if not pairs:
+        return {}
+    k = pairs[0][1].num_slices
+    ordered = sorted(pairs, key=lambda p: p[1].sort_key())
+    n = len(ordered)
+    return {
+        node.id: min(k - 1, rank * k // n) for rank, (node, _) in enumerate(ordered)
+    }
+
+
+def assignment_accuracy(
+    nodes: Sequence[Node], service_cls: Type[SlicingService] = SlicingService
+) -> float:
+    """Fraction of alive nodes currently sitting in their ideal slice."""
+    actual = slice_assignments(nodes, service_cls)
+    ideal = ideal_assignments(nodes, service_cls)
+    if not ideal:
+        return 0.0
+    hits = sum(1 for node_id, want in ideal.items() if actual.get(node_id) == want)
+    return hits / len(ideal)
+
+
+def slice_histogram(
+    nodes: Sequence[Node], service_cls: Type[SlicingService] = SlicingService
+) -> Dict[int, int]:
+    """slice index -> number of alive nodes claiming it (None excluded)."""
+    hist: Dict[int, int] = {}
+    for assigned in slice_assignments(nodes, service_cls).values():
+        if assigned is not None:
+            hist[assigned] = hist.get(assigned, 0) + 1
+    return hist
+
+
+def slice_imbalance(
+    nodes: Sequence[Node], service_cls: Type[SlicingService] = SlicingService
+) -> float:
+    """max/mean slice population; 1.0 is perfectly balanced.
+
+    Empty slices are counted with population 0 (they drag the mean down
+    and signal a dangerous hole in the key space).
+    """
+    pairs = _services(nodes, service_cls)
+    if not pairs:
+        return 0.0
+    k = pairs[0][1].num_slices
+    hist = slice_histogram(nodes, service_cls)
+    populations = [hist.get(i, 0) for i in range(k)]
+    total = sum(populations)
+    if total == 0:
+        return 0.0
+    mean_pop = total / k
+    return max(populations) / mean_pop
+
+
+def unassigned_fraction(
+    nodes: Sequence[Node], service_cls: Type[SlicingService] = SlicingService
+) -> float:
+    """Fraction of alive nodes with no slice estimate yet."""
+    assignments = slice_assignments(nodes, service_cls)
+    if not assignments:
+        return 1.0
+    missing = sum(1 for s in assignments.values() if s is None)
+    return missing / len(assignments)

@@ -1,0 +1,41 @@
+"""Static hash-based slicing — the "coin toss" baseline.
+
+Section IV-A of the paper: "we could simply toss a coin and decide to
+which slice a node belongs to. Provided we had uniformity [...] it would
+be enough for partitioning the system. However, such approach is not
+resilient to correlated faults." This module implements exactly that
+baseline so bench A1 can demonstrate the claim: under a correlated slice
+failure, hash slicing never rebalances while the adaptive protocols do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.slicing.base import SlicingService
+
+__all__ = ["StaticSlicing", "hash_slice"]
+
+
+def hash_slice(node_id: int, num_slices: int) -> int:
+    """Deterministic uniform slice for a node id (BLAKE2b based)."""
+    digest = hashlib.blake2b(str(node_id).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % num_slices
+
+
+class StaticSlicing(SlicingService):
+    """Slice assignment fixed at boot by hashing the node id.
+
+    Ignores the attribute entirely and never adapts — the non-resilient
+    strawman the adaptive protocols are compared against.
+    """
+
+    name = "static-slicing"
+
+    def start(self) -> None:
+        assert self.node is not None
+        self._set_slice(hash_slice(self.node.id, self.num_slices))
+
+    def _recompute(self) -> None:
+        assert self.node is not None
+        self._set_slice(hash_slice(self.node.id, self.num_slices))

@@ -1,0 +1,62 @@
+"""YCSB-compatible workload generation and execution (paper Section VI).
+
+* :mod:`repro.workload.distributions` — uniform/zipfian/latest/hotspot
+  key choosers (Gray et al. sampling, FNV scrambling)
+* :mod:`repro.workload.ycsb` — core workloads A–F plus the paper's
+  write-only workload
+* :class:`~repro.workload.runner.WorkloadRunner` — closed-loop execution
+  against a cluster with version assignment
+"""
+
+from repro.workload.distributions import (
+    HotSpotChooser,
+    KeyChooser,
+    LatestChooser,
+    ScrambledZipfianChooser,
+    UniformChooser,
+    ZipfianChooser,
+    fnv64,
+)
+from repro.workload.runner import RunStats, WorkloadRunner
+from repro.workload.ycsb import (
+    INSERT,
+    READ,
+    RMW,
+    SCAN,
+    UPDATE,
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+    WORKLOAD_E,
+    WORKLOAD_F,
+    WRITE_ONLY,
+    CoreWorkload,
+    Operation,
+)
+
+__all__ = [
+    "CoreWorkload",
+    "HotSpotChooser",
+    "INSERT",
+    "KeyChooser",
+    "LatestChooser",
+    "Operation",
+    "READ",
+    "RMW",
+    "RunStats",
+    "SCAN",
+    "ScrambledZipfianChooser",
+    "UPDATE",
+    "UniformChooser",
+    "WORKLOAD_A",
+    "WORKLOAD_B",
+    "WORKLOAD_C",
+    "WORKLOAD_D",
+    "WORKLOAD_E",
+    "WORKLOAD_F",
+    "WRITE_ONLY",
+    "WorkloadRunner",
+    "ZipfianChooser",
+    "fnv64",
+]

@@ -1,0 +1,165 @@
+"""Closed-loop workload runner.
+
+Drives a :class:`~repro.workload.ycsb.CoreWorkload` against a
+:class:`~repro.core.cluster.DataFlasksCluster` through one client,
+assigning the totally ordered versions the DATADROPLETS layer would
+(inserts start at version 1, each update bumps the key's version), and
+collects the statistics the benches report: success rates, latency
+percentiles, and — the paper's metric — messages per server node.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.client import DataFlasksClient
+from repro.core.cluster import DataFlasksCluster
+from repro.sim.metrics import mean, percentile
+from repro.workload.ycsb import INSERT, READ, RMW, SCAN, UPDATE, CoreWorkload, Operation
+
+__all__ = ["RunStats", "WorkloadRunner"]
+
+
+@dataclass
+class RunStats:
+    """Outcome of one workload run."""
+
+    issued: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    latencies: Dict[str, List[float]] = field(default_factory=dict)
+    duration: float = 0.0
+    messages_per_node: float = 0.0
+
+    @property
+    def success_rate(self) -> float:
+        if self.issued == 0:
+            return 0.0
+        return self.succeeded / self.issued
+
+    @property
+    def throughput(self) -> float:
+        """Completed operations per simulated second."""
+        if self.duration <= 0:
+            return 0.0
+        return self.succeeded / self.duration
+
+    def latency_summary(self, kind: str) -> Dict[str, float]:
+        values = self.latencies.get(kind, [])
+        return {
+            "count": len(values),
+            "mean": mean(values),
+            "p50": percentile(values, 50),
+            "p99": percentile(values, 99),
+        }
+
+    def record(self, kind: str, ok: bool, latency: Optional[float]) -> None:
+        self.issued += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        if ok:
+            self.succeeded += 1
+            if latency is not None:
+                self.latencies.setdefault(kind, []).append(latency)
+        else:
+            self.failed += 1
+
+
+class WorkloadRunner:
+    """Runs load and transaction phases against a cluster."""
+
+    def __init__(
+        self,
+        cluster: DataFlasksCluster,
+        workload: CoreWorkload,
+        client: Optional[DataFlasksClient] = None,
+        seed: int = 0,
+        op_timeout: float = 30.0,
+        acks_required: int = 1,
+    ) -> None:
+        self.cluster = cluster
+        self.workload = workload
+        self.client = client if client is not None else cluster.new_client()
+        self.rng = random.Random(seed)
+        self.op_timeout = op_timeout
+        self.acks_required = acks_required
+        # The version oracle the upper layer (DATADROPLETS) provides.
+        self._versions: Dict[str, int] = {}
+
+    # ------------------------------------------------------------- phases
+
+    def run_load_phase(self) -> RunStats:
+        """Insert the workload's ``record_count`` items (paper's workload)."""
+        return self._run(self.workload.load_items(self.rng))
+
+    def run_transactions(self, count: int) -> RunStats:
+        """Run ``count`` transaction-phase operations."""
+        return self._run(self.workload.operations(count, self.rng))
+
+    # ------------------------------------------------------------ internals
+
+    def _next_version(self, key: str) -> int:
+        version = self._versions.get(key, 0) + 1
+        self._versions[key] = version
+        return version
+
+    def _run(self, operations) -> RunStats:
+        stats = RunStats()
+        sim = self.cluster.sim
+        start_time = sim.now
+        start_msgs = self.cluster.server_message_load()["handled"]
+        for op in operations:
+            self._execute(op, stats)
+        stats.duration = sim.now - start_time
+        end_msgs = self.cluster.server_message_load()["handled"]
+        stats.messages_per_node = end_msgs - start_msgs
+        return stats
+
+    def _execute(self, op: Operation, stats: RunStats) -> None:
+        if op.kind in (INSERT, UPDATE):
+            pending = self.client.put(
+                op.key, op.value, self._next_version(op.key), self.acks_required
+            )
+            self._await(pending)
+            stats.record(op.kind, pending.succeeded, pending.latency)
+        elif op.kind == READ:
+            pending = self.client.get(op.key)
+            self._await(pending)
+            stats.record(op.kind, pending.succeeded, pending.latency)
+        elif op.kind == RMW:
+            started = self.cluster.sim.now
+            read = self.client.get(op.key)
+            self._await(read)
+            if not read.succeeded:
+                stats.record(op.kind, False, None)
+                return
+            write = self.client.put(
+                op.key, op.value, self._next_version(op.key), self.acks_required
+            )
+            self._await(write)
+            latency = self.cluster.sim.now - started
+            stats.record(op.kind, write.succeeded, latency if write.succeeded else None)
+        elif op.kind == SCAN:
+            started = self.cluster.sim.now
+            base_index = _key_index(op.key, self.workload.key_prefix)
+            all_ok = True
+            for offset in range(op.scan_length):
+                index = base_index + offset
+                if index >= self.workload.record_count:
+                    break
+                pending = self.client.get(self.workload.key_for(index))
+                self._await(pending)
+                all_ok = all_ok and pending.succeeded
+            latency = self.cluster.sim.now - started
+            stats.record(op.kind, all_ok, latency if all_ok else None)
+
+    def _await(self, pending) -> None:
+        self.cluster.sim.run_until_condition(
+            lambda: pending.done, self.op_timeout, check_interval=0.1
+        )
+
+
+def _key_index(key: str, prefix: str) -> int:
+    return int(key[len(prefix):])

@@ -1,0 +1,161 @@
+"""Tests for churn models and the churn controller."""
+
+import random
+
+import pytest
+
+from repro.churn import (
+    JOIN,
+    LEAVE,
+    ChurnController,
+    ChurnEvent,
+    CorrelatedFailure,
+    PoissonChurn,
+    SessionChurn,
+    TraceChurn,
+)
+from repro.errors import ConfigurationError
+from repro.pss.bootstrap import bootstrap_random_views
+from repro.pss.cyclon import CyclonService
+from repro.sim.node import Node
+from repro.sim.simulator import Simulation
+
+
+class TestModels:
+    def test_poisson_rates_validated(self):
+        with pytest.raises(ConfigurationError):
+            PoissonChurn(join_rate=-1, leave_rate=0)
+
+    def test_poisson_event_counts_near_expectation(self):
+        rng = random.Random(1)
+        events = list(PoissonChurn(join_rate=2.0, leave_rate=1.0).events(rng, 100))
+        joins = sum(1 for e in events if e.kind == JOIN)
+        leaves = sum(1 for e in events if e.kind == LEAVE)
+        assert 150 <= joins <= 260
+        assert 60 <= leaves <= 145
+
+    def test_poisson_events_sorted(self):
+        rng = random.Random(2)
+        events = list(PoissonChurn(1.0, 1.0).events(rng, 50))
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_poisson_zero_rates_yield_nothing(self):
+        assert list(PoissonChurn(0, 0).events(random.Random(0), 100)) == []
+
+    def test_session_churn_pairs_leave_with_join(self):
+        rng = random.Random(3)
+        events = list(SessionChurn(population=50, mean_session=100).events(rng, 60))
+        assert len(events) % 2 == 0
+        for leave, join in zip(events[::2], events[1::2]):
+            assert leave.kind == LEAVE and join.kind == JOIN
+            assert leave.time == join.time
+
+    def test_session_churn_validated(self):
+        with pytest.raises(ConfigurationError):
+            SessionChurn(population=0, mean_session=10)
+
+    def test_trace_churn_replays_sorted_and_bounded(self):
+        trace = TraceChurn(
+            [ChurnEvent(5.0, LEAVE, 1), ChurnEvent(1.0, JOIN), ChurnEvent(99.0, LEAVE)]
+        )
+        events = list(trace.events(random.Random(0), horizon=10))
+        assert [e.time for e in events] == [1.0, 5.0]
+
+    def test_correlated_failure_names_victims(self):
+        model = CorrelatedFailure(at=3.0, node_ids=[1, 2, 3])
+        events = list(model.events(random.Random(0), horizon=10))
+        assert len(events) == 3
+        assert all(e.kind == LEAVE and e.time == 3.0 for e in events)
+        assert [e.node_id for e in events] == [1, 2, 3]
+
+    def test_correlated_failure_beyond_horizon_empty(self):
+        model = CorrelatedFailure(at=30.0, node_ids=[1])
+        assert list(model.events(random.Random(0), horizon=10)) == []
+
+
+def overlay_sim(n=30, seed=5):
+    sim = Simulation(seed=seed)
+
+    def factory(node_id, ctx):
+        node = Node(node_id, ctx)
+        node.add_service(CyclonService(view_size=8, shuffle_length=4))
+        return node
+
+    nodes = sim.add_nodes(factory, n)
+    bootstrap_random_views(nodes, degree=4, rng=sim.rng_registry.stream("b"))
+    sim.start_all()
+    return sim, factory
+
+
+class TestController:
+    def test_kill_random_reduces_population(self):
+        sim, factory = overlay_sim()
+        controller = ChurnController(sim, factory)
+        victim = controller.kill()
+        assert victim is not None and not victim.alive
+        assert len(sim.alive_ids()) == 29
+        assert controller.leaves == 1
+
+    def test_kill_named_node(self):
+        sim, factory = overlay_sim()
+        controller = ChurnController(sim, factory)
+        target = sim.alive_ids()[0]
+        controller.kill(target)
+        assert not sim.node(target).alive
+
+    def test_kill_dead_node_is_noop(self):
+        sim, factory = overlay_sim()
+        controller = ChurnController(sim, factory)
+        target = sim.alive_ids()[0]
+        controller.kill(target)
+        assert controller.kill(target) is None
+        assert controller.leaves == 1
+
+    def test_kill_fraction(self):
+        sim, factory = overlay_sim(n=40)
+        controller = ChurnController(sim, factory)
+        victims = controller.kill_fraction(0.25)
+        assert len(victims) == 10
+        assert len(sim.alive_ids()) == 30
+
+    def test_join_bootstraps_new_node(self):
+        sim, factory = overlay_sim()
+        controller = ChurnController(sim, factory, bootstrap_degree=3)
+        joiner = controller.join()
+        assert joiner.alive
+        pss = joiner.get_service(CyclonService)
+        assert 1 <= len(pss.peers()) <= 3
+        sim.run_for(10)
+        assert len(pss.peers()) > 3  # integrated into the overlay
+
+    def test_join_callback_invoked(self):
+        sim, factory = overlay_sim()
+        seen = []
+        controller = ChurnController(sim, factory, on_join=seen.append)
+        joiner = controller.join()
+        assert seen == [joiner]
+
+    def test_apply_schedules_model_events(self):
+        sim, factory = overlay_sim(n=30)
+        controller = ChurnController(sim, factory)
+        count = controller.apply(PoissonChurn(join_rate=0.5, leave_rate=0.5), horizon=30)
+        assert count > 0
+        sim.run_for(31)
+        assert controller.joins + controller.leaves == count
+
+    def test_population_roughly_stable_under_session_churn(self):
+        sim, factory = overlay_sim(n=30)
+        controller = ChurnController(sim, factory)
+        controller.apply(SessionChurn(population=30, mean_session=60), horizon=60)
+        sim.run_for(61)
+        assert 25 <= len(sim.alive_ids()) <= 35
+
+    def test_kill_everything_then_join_restarts(self):
+        sim, factory = overlay_sim(n=5)
+        controller = ChurnController(sim, factory)
+        controller.kill_fraction(1.0)
+        assert sim.alive_ids() == []
+        assert controller.kill() is None  # nothing left to kill
+        joiner = controller.join()
+        assert joiner.alive  # joins even into an empty system

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["fig3"])
+    assert args.command == "fig3"
+    assert args.slices == 10
+    args = build_parser().parse_args(["fig4", "--nodes", "50", "60"])
+    assert args.nodes == [50, 60]
+
+
+def test_demo_command_runs(capsys):
+    assert main(["demo", "--nodes", "25", "--slices", "3", "--seed", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "slicing converged: True" in out
+    assert "hello dataflasks" in out
+
+
+def test_fig3_command_runs(capsys):
+    assert main(["fig3", "--nodes", "20", "30", "--slices", "2", "--records", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out
+    assert "20" in out and "30" in out
+
+
+def test_fig4_command_runs(capsys):
+    code = main(
+        [
+            "fig4",
+            "--nodes", "20", "30",
+            "--nodes-per-slice", "10",
+            "--records-per-slice", "3",
+        ]
+    )
+    assert code == 0
+    assert "Figure 4" in capsys.readouterr().out
+
+
+def test_check_command_healthy(capsys):
+    assert main(["check", "--nodes", "25", "--slices", "3", "--keys", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "healthy: True" in out

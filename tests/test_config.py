@@ -1,0 +1,58 @@
+"""Tests for DataFlasksConfig validation and helpers."""
+
+import math
+
+import pytest
+
+from repro.core.config import DataFlasksConfig
+from repro.errors import ConfigurationError
+
+
+def test_defaults_match_paper():
+    config = DataFlasksConfig()
+    assert config.num_slices == 10  # the paper's evaluation setting
+    assert config.slicing_protocol == "dslead"  # the paper's Slice Manager
+
+
+def test_effective_fanout_from_expected_n():
+    config = DataFlasksConfig(expected_n=1000, fanout_c=2.0)
+    assert config.effective_fanout == math.ceil(math.log(1000) + 2)
+
+
+def test_explicit_fanout_wins():
+    assert DataFlasksConfig(fanout=4).effective_fanout == 4
+
+
+def test_scaled_to_retargets_fanout():
+    base = DataFlasksConfig(expected_n=100)
+    scaled = base.scaled_to(10_000)
+    assert scaled.expected_n == 10_000
+    assert scaled.effective_fanout > base.effective_fanout
+    assert base.expected_n == 100  # original untouched
+
+
+def test_scaled_to_accepts_overrides():
+    scaled = DataFlasksConfig().scaled_to(500, num_slices=25)
+    assert scaled.num_slices == 25
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"num_slices": 0},
+        {"slicing_protocol": "nope"},
+        {"expected_n": 0},
+        {"fanout": 0},
+        {"ttl": 0},
+        {"intra_slice_fanout": 0},
+        {"store_capacity": 0},
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        DataFlasksConfig(**kwargs)
+
+
+def test_all_slicing_protocols_accepted():
+    for name in ("dslead", "ordered", "sliver", "static"):
+        assert DataFlasksConfig(slicing_protocol=name).slicing_protocol == name

@@ -1,0 +1,105 @@
+"""Tests for the RPC layer."""
+
+import pytest
+
+from repro.dht.rpc import RpcService
+from repro.errors import ConfigurationError
+from repro.sim.node import Node
+from repro.sim.simulator import Simulation
+
+
+def make_rpc_pair():
+    sim = Simulation(seed=1)
+    nodes = []
+    for _ in range(2):
+        node = sim.add_node(Node)
+        node.add_service(RpcService(timeout=1.0))
+        nodes.append(node)
+    sim.start_all()
+    return sim, nodes[0], nodes[1]
+
+
+def rpc_of(node) -> RpcService:
+    return node.get_service(RpcService)
+
+
+def test_call_and_reply():
+    sim, a, b = make_rpc_pair()
+    rpc_of(b).register("add", lambda args, src: args[0] + args[1])
+    results = []
+    rpc_of(a).call(b.id, "add", (2, 3), on_reply=lambda ok, r: results.append((ok, r)))
+    sim.run_for(1)
+    assert results == [(True, 5)]
+
+
+def test_unknown_method_errors():
+    sim, a, b = make_rpc_pair()
+    results = []
+    rpc_of(a).call(b.id, "nope", (), on_reply=lambda ok, r: results.append((ok, r)))
+    sim.run_for(1)
+    assert results[0][0] is False
+    assert "nope" in results[0][1]
+
+
+def test_handler_exception_becomes_error_reply():
+    sim, a, b = make_rpc_pair()
+
+    def boom(args, src):
+        raise ValueError("kaput")
+
+    rpc_of(b).register("boom", boom)
+    results = []
+    rpc_of(a).call(b.id, "boom", (), on_reply=lambda ok, r: results.append((ok, r)))
+    sim.run_for(1)
+    assert results == [(False, "kaput")]
+
+
+def test_timeout_fires_once():
+    sim, a, b = make_rpc_pair()
+    b.stop()  # silent peer
+    results = []
+    rpc_of(a).call(b.id, "add", (1, 2), on_reply=lambda ok, r: results.append((ok, r)))
+    sim.run_for(5)
+    assert results == [(False, "timeout")]
+
+
+def test_late_reply_after_timeout_is_ignored():
+    sim, a, b = make_rpc_pair()
+    # Handler that exists, but latency exceeds the 1.0s rpc timeout.
+    sim.network.latency_model.latency = 2.0
+    rpc_of(b).register("slow", lambda args, src: "done")
+    results = []
+    rpc_of(a).call(b.id, "slow", (), on_reply=lambda ok, r: results.append((ok, r)))
+    sim.run_for(10)
+    assert results == [(False, "timeout")]  # the real reply was dropped
+
+
+def test_fire_and_forget_without_callback():
+    sim, a, b = make_rpc_pair()
+    got = []
+    rpc_of(b).register("note", lambda args, src: got.append(args))
+    rpc_of(a).call(b.id, "note", ("hi",))
+    sim.run_for(1)
+    assert got == [("hi",)]
+
+
+def test_duplicate_method_registration_rejected():
+    service = RpcService()
+    service.register("x", lambda a, s: None)
+    with pytest.raises(ConfigurationError):
+        service.register("x", lambda a, s: None)
+
+
+def test_invalid_timeout_rejected():
+    with pytest.raises(ConfigurationError):
+        RpcService(timeout=0)
+
+
+def test_concurrent_calls_correlated_correctly():
+    sim, a, b = make_rpc_pair()
+    rpc_of(b).register("echo", lambda args, src: args[0])
+    results = []
+    for i in range(10):
+        rpc_of(a).call(b.id, "echo", (i,), on_reply=lambda ok, r: results.append(r))
+    sim.run_for(2)
+    assert sorted(results) == list(range(10))

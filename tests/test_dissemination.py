@@ -1,0 +1,178 @@
+"""Tests for epidemic dissemination and the ln(N)+c fanout maths."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.gossip.dissemination import (
+    DedupCache,
+    DisseminationService,
+    atomic_infection_probability,
+    fanout_for_probability,
+    recommended_fanout,
+)
+from repro.pss.bootstrap import bootstrap_random_views
+from repro.pss.cyclon import CyclonService
+from repro.sim.node import Node
+from repro.sim.simulator import Simulation
+
+
+class TestFanoutMaths:
+    def test_recommended_fanout_formula(self):
+        assert recommended_fanout(1000, c=2.0) == math.ceil(math.log(1000) + 2)
+
+    def test_recommended_fanout_small_systems(self):
+        assert recommended_fanout(1) == 1
+        assert recommended_fanout(2, c=0.0) >= 1
+
+    def test_atomic_infection_probability_known_values(self):
+        # e^{-e^{-c}}: c=0 -> 1/e, large c -> 1.
+        assert atomic_infection_probability(0.0) == pytest.approx(math.exp(-1))
+        assert atomic_infection_probability(10.0) == pytest.approx(1.0, abs=1e-4)
+
+    def test_probability_monotone_in_c(self):
+        values = [atomic_infection_probability(c) for c in (-1, 0, 1, 2, 4)]
+        assert values == sorted(values)
+
+    def test_fanout_for_probability_inverts(self):
+        n = 500
+        for p in (0.5, 0.9, 0.99):
+            f = fanout_for_probability(n, p)
+            c = f - math.log(n)
+            assert atomic_infection_probability(c) >= p - 1e-9
+
+    def test_fanout_for_probability_validates(self):
+        with pytest.raises(ConfigurationError):
+            fanout_for_probability(100, 1.0)
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    def test_fanout_scales_logarithmically(self, n):
+        assert recommended_fanout(n) <= math.log(n) + 3.01
+
+
+class TestDedupCache:
+    def test_first_sighting_false_then_true(self):
+        cache = DedupCache(capacity=10)
+        assert cache.seen("a") is False
+        assert cache.seen("a") is True
+
+    def test_capacity_evicts_fifo(self):
+        cache = DedupCache(capacity=2)
+        cache.seen("a")
+        cache.seen("b")
+        cache.seen("c")  # evicts "a"
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            DedupCache(capacity=0)
+
+    def test_len(self):
+        cache = DedupCache(capacity=10)
+        cache.seen(1)
+        cache.seen(2)
+        assert len(cache) == 2
+
+
+def build_broadcast_overlay(n=60, fanout=None, seed=4, rounds=15.0):
+    sim = Simulation(seed=seed)
+
+    def factory(node_id, ctx):
+        node = Node(node_id, ctx)
+        node.add_service(CyclonService(view_size=12, shuffle_length=6))
+        node.add_service(
+            DisseminationService(fanout=fanout, expected_n=n if fanout is None else None)
+        )
+        return node
+
+    nodes = sim.add_nodes(factory, n)
+    bootstrap_random_views(nodes, degree=5, rng=sim.rng_registry.stream("b"))
+    sim.start_all()
+    sim.run_for(rounds)
+    return sim, nodes
+
+
+class TestDisseminationService:
+    def test_config_requires_fanout_or_n(self):
+        with pytest.raises(ConfigurationError):
+            DisseminationService()
+
+    def test_broadcast_reaches_everyone_with_recommended_fanout(self):
+        sim, nodes = build_broadcast_overlay(n=60)
+        received = set()
+        for node in nodes:
+            node.get_service(DisseminationService).subscribe(
+                lambda payload, msg_id, hops, i=node.id: received.add(i)
+            )
+        nodes[0].get_service(DisseminationService).broadcast("hello")
+        sim.run_for(5)
+        assert len(received) == 60
+
+    def test_each_node_delivers_exactly_once(self):
+        sim, nodes = build_broadcast_overlay(n=40)
+        deliveries = []
+        for node in nodes:
+            node.get_service(DisseminationService).subscribe(
+                lambda payload, msg_id, hops, i=node.id: deliveries.append(i)
+            )
+        nodes[0].get_service(DisseminationService).broadcast("x")
+        sim.run_for(5)
+        assert len(deliveries) == len(set(deliveries))
+
+    def test_originator_delivers_synchronously(self):
+        sim, nodes = build_broadcast_overlay(n=20)
+        got = []
+        service = nodes[0].get_service(DisseminationService)
+        service.subscribe(lambda payload, msg_id, hops: got.append(payload))
+        msg_id = service.broadcast("local")
+        assert got == ["local"]
+        assert msg_id[0] == nodes[0].id
+
+    def test_message_ids_unique_per_origin(self):
+        sim, nodes = build_broadcast_overlay(n=20)
+        service = nodes[0].get_service(DisseminationService)
+        ids = {service.broadcast(i) for i in range(5)}
+        assert len(ids) == 5
+
+    def test_fanout_one_reaches_few(self):
+        sim, nodes = build_broadcast_overlay(n=60, fanout=1)
+        received = set()
+        for node in nodes:
+            node.get_service(DisseminationService).subscribe(
+                lambda payload, msg_id, hops, i=node.id: received.add(i)
+            )
+        nodes[0].get_service(DisseminationService).broadcast("weak")
+        sim.run_for(10)
+        assert len(received) < 60  # a single infect-and-die walk dies out
+
+    def test_hops_grow_with_distance(self):
+        sim, nodes = build_broadcast_overlay(n=60)
+        hops_seen = []
+        for node in nodes[1:]:
+            node.get_service(DisseminationService).subscribe(
+                lambda payload, msg_id, hops: hops_seen.append(hops)
+            )
+        nodes[0].get_service(DisseminationService).broadcast("x")
+        sim.run_for(5)
+        assert max(hops_seen) >= 2  # multi-hop epidemic, not a star
+        assert max(hops_seen) <= 32  # bounded by ttl
+
+    def test_delivery_ratio_improves_with_fanout(self):
+        ratios = []
+        for fanout in (1, 3, 6):
+            sim, nodes = build_broadcast_overlay(n=50, fanout=fanout, seed=9)
+            received = set()
+            for node in nodes:
+                node.get_service(DisseminationService).subscribe(
+                    lambda payload, msg_id, hops, i=node.id: received.add(i)
+                )
+            for origin in nodes[:5]:
+                origin.get_service(DisseminationService).broadcast("probe")
+            sim.run_for(5)
+            ratios.append(len(received) / 50)
+        assert ratios[0] <= ratios[1] <= ratios[2]
+        assert ratios[2] == 1.0

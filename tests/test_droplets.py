@@ -1,0 +1,109 @@
+"""Tests for the DATADROPLETS-lite session layer."""
+
+import pytest
+
+from repro.droplets import DropletsSession
+from repro.errors import ClientError, ConfigurationError
+
+from tests.conftest import build_cluster
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return build_cluster(n=30, seed=71)
+
+
+def test_cache_capacity_validated(cluster):
+    with pytest.raises(ConfigurationError):
+        DropletsSession(cluster, cache_capacity=0)
+
+
+def test_put_assigns_monotonic_versions(cluster):
+    session = DropletsSession(cluster)
+    v1 = session.put("droplet:mono", b"a")
+    v2 = session.put("droplet:mono", b"b")
+    v3 = session.put("droplet:mono", b"c")
+    assert (v1, v2, v3) == (1, 2, 3)
+    assert session.current_version("droplet:mono") == 3
+
+
+def test_read_your_writes_from_cache(cluster):
+    session = DropletsSession(cluster)
+    session.put("droplet:ryw", b"mine")
+    before = cluster.sim.metrics.get("msg.sent", node=session.client.id)
+    assert session.get("droplet:ryw") == b"mine"
+    after = cluster.sim.metrics.get("msg.sent", node=session.client.id)
+    assert after == before  # pure cache hit, no network traffic
+    assert session.cache_hits >= 1
+
+
+def test_get_unknown_key_returns_none(cluster):
+    session = DropletsSession(cluster)
+    assert session.get("droplet:never") is None
+
+
+def test_historical_version_read(cluster):
+    session = DropletsSession(cluster)
+    session.put("droplet:hist", b"old")
+    session.put("droplet:hist", b"new")
+    assert session.get_version("droplet:hist", 1) == b"old"
+    assert session.get("droplet:hist") == b"new"
+
+
+def test_key_handover_between_sessions(cluster):
+    writer = DropletsSession(cluster)
+    writer.put("droplet:handover", b"first")
+    writer.put("droplet:handover", b"second")
+    # Handover is defined on a converged substrate: a replica that has
+    # not yet received the second write would report version 1 (the
+    # substrate is eventually consistent; serialising *concurrent*
+    # sessions is DATADROPLETS' broker job, out of scope for a session).
+    cluster.sim.run_for(15)
+
+    # A fresh session (no local counter) must continue the sequence, not
+    # restart it — it learns the current version from the substrate.
+    successor = DropletsSession(cluster)
+    v = successor.put("droplet:handover", b"third")
+    assert v == 3
+    assert successor.get("droplet:handover") == b"third"
+
+
+def test_rebuild_restores_soft_state(cluster):
+    session = DropletsSession(cluster)
+    keys = [f"droplet:re{i}" for i in range(4)]
+    for i, key in enumerate(keys):
+        session.put(key, f"v{i}".encode())
+    cluster.sim.run_for(10)
+
+    # Catastrophic soft-state loss: a brand-new session rebuilds counters
+    # and cache purely from the persistent layer.
+    replacement = DropletsSession(cluster)
+    recovered = replacement.rebuild(keys + ["droplet:ghost"])
+    assert recovered == len(keys)
+    for i, key in enumerate(keys):
+        assert replacement.current_version(key) == 1
+        assert replacement.get(key) == f"v{i}".encode()
+    next_version = replacement.put(keys[0], b"post-recovery")
+    assert next_version == 2
+
+
+def test_failed_put_rolls_version_back():
+    # An empty cluster directory makes the substrate put fail immediately.
+    cluster = build_cluster(n=10, seed=72)
+    session = DropletsSession(cluster)
+    session.put("droplet:fail", b"ok")
+    for server in cluster.servers:
+        server.crash()
+    with pytest.raises(ClientError):
+        session.put("droplet:fail", b"doomed")
+    # Version 2 was not consumed by the failure.
+    assert session.current_version("droplet:fail") == 1
+
+
+def test_cache_evicts_lru(cluster):
+    session = DropletsSession(cluster, cache_capacity=2)
+    session.put("droplet:lru1", b"1")
+    session.put("droplet:lru2", b"2")
+    session.put("droplet:lru3", b"3")  # evicts lru1
+    assert "droplet:lru1" not in session._cache
+    assert "droplet:lru3" in session._cache

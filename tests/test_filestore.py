@@ -1,0 +1,162 @@
+"""Tests for the log-structured FileStore, including crash recovery."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filestore import FileStore
+from repro.core.store import MemoryStore
+from repro.errors import CapacityExceededError, StoreError
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return str(tmp_path / "data.log")
+
+
+def test_put_get_roundtrip(store_path):
+    store = FileStore(store_path)
+    store.put("a", 1, b"hello")
+    assert store.get("a", 1).value == b"hello"
+    store.close()
+
+
+def test_values_must_be_bytes(store_path):
+    store = FileStore(store_path)
+    with pytest.raises(StoreError):
+        store.put("a", 1, "not-bytes")
+    store.close()
+
+
+def test_latest_version(store_path):
+    store = FileStore(store_path)
+    store.put("a", 1, b"v1")
+    store.put("a", 5, b"v5")
+    assert store.get("a").version == 5
+    store.close()
+
+
+def test_duplicate_put_idempotent(store_path):
+    store = FileStore(store_path)
+    assert store.put("a", 1, b"x") is True
+    assert store.put("a", 1, b"y") is False
+    assert store.get("a", 1).value == b"x"
+    store.close()
+
+
+def test_recovery_after_reopen(store_path):
+    store = FileStore(store_path)
+    store.put("a", 1, b"one")
+    store.put("b", 2, b"two")
+    store.delete("a", 1)
+    store.close()
+
+    recovered = FileStore(store_path)
+    assert recovered.get("a", 1) is None
+    assert recovered.get("b", 2).value == b"two"
+    assert len(recovered) == 1
+    recovered.close()
+
+
+def test_recovery_ignores_truncated_tail(store_path):
+    store = FileStore(store_path)
+    store.put("a", 1, b"full-record")
+    store.close()
+    # Simulate a crash mid-append: chop bytes off the end.
+    size = os.path.getsize(store_path)
+    with open(store_path, "r+b") as f:
+        f.truncate(size - 3)
+    with open(store_path, "ab") as f:
+        pass
+
+    recovered = FileStore(store_path)
+    assert len(recovered) == 0  # the torn record is dropped, no crash
+    recovered.put("b", 1, b"after-recovery")
+    assert recovered.get("b", 1).value == b"after-recovery"
+    recovered.close()
+
+
+def test_capacity_enforced(store_path):
+    store = FileStore(store_path, capacity=1)
+    store.put("a", 1, b"")
+    with pytest.raises(CapacityExceededError):
+        store.put("b", 1, b"")
+    store.close()
+
+
+def test_digest_and_items(store_path):
+    store = FileStore(store_path)
+    store.put("a", 1, b"x")
+    store.put("a", 2, b"y")
+    assert store.digest() == frozenset({("a", 1), ("a", 2)})
+    assert sorted((o.key, o.version, o.value) for o in store.items()) == [
+        ("a", 1, b"x"),
+        ("a", 2, b"y"),
+    ]
+    store.close()
+
+
+def test_compact_shrinks_log_and_preserves_data(store_path):
+    store = FileStore(store_path)
+    for i in range(20):
+        store.put("churny", i, b"data" * 10)
+    for i in range(19):
+        store.delete("churny", i)
+    before = os.path.getsize(store_path)
+    store.compact()
+    after = os.path.getsize(store_path)
+    assert after < before
+    assert store.get("churny", 19).value == b"data" * 10
+    assert len(store) == 1
+    store.close()
+
+    reopened = FileStore(store_path)
+    assert reopened.get("churny", 19).value == b"data" * 10
+    reopened.close()
+
+
+def test_empty_value_roundtrip(store_path):
+    store = FileStore(store_path)
+    store.put("a", 1, b"")
+    assert store.get("a", 1).value == b""
+    store.close()
+
+
+def test_unicode_keys(store_path):
+    store = FileStore(store_path)
+    store.put("clé-日本語", 1, b"v")
+    assert store.get("clé-日本語", 1).value == b"v"
+    store.close()
+
+
+def test_negative_versions_roundtrip(store_path):
+    store = FileStore(store_path)
+    store.put("a", -5, b"v")
+    assert store.get("a", -5).value == b"v"
+    store.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["k1", "k2", "k3"]),
+            st.integers(min_value=0, max_value=6),
+            st.binary(max_size=16),
+        ),
+        max_size=30,
+    )
+)
+def test_filestore_equivalent_to_memorystore(tmp_path_factory, ops):
+    path = str(tmp_path_factory.mktemp("fs") / "log")
+    file_store = FileStore(path)
+    mem_store = MemoryStore()
+    for key, version, value in ops:
+        assert file_store.put(key, version, value) == mem_store.put(key, version, value)
+    assert file_store.digest() == mem_store.digest()
+    file_store.close()
+    recovered = FileStore(path)
+    assert recovered.digest() == mem_store.digest()
+    recovered.close()

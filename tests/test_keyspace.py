@@ -1,0 +1,52 @@
+"""Tests for the key-to-slice mapping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.keyspace import key_hash, slice_for_key
+from repro.errors import ConfigurationError
+
+
+def test_slice_in_range():
+    for i in range(100):
+        assert 0 <= slice_for_key(f"key{i}", 7) < 7
+
+
+def test_mapping_is_deterministic():
+    assert slice_for_key("abc", 10) == slice_for_key("abc", 10)
+
+
+def test_mapping_is_stable_across_processes():
+    # Pinned value: the mapping must never change silently, or every
+    # deployed object would land in the wrong slice after an upgrade.
+    assert key_hash("user1") == 14914577609760747527
+    assert slice_for_key("user1", 10) == 7
+
+
+def test_distribution_roughly_uniform():
+    counts = {}
+    for i in range(5000):
+        s = slice_for_key(f"user{i}", 10)
+        counts[s] = counts.get(s, 0) + 1
+    assert min(counts.values()) > 350  # expected 500 per slice
+    assert max(counts.values()) < 650
+
+
+def test_num_slices_validated():
+    with pytest.raises(ConfigurationError):
+        slice_for_key("x", 0)
+
+
+def test_single_slice_maps_everything_to_zero():
+    assert slice_for_key("anything", 1) == 0
+
+
+@given(st.text(max_size=50), st.integers(min_value=1, max_value=64))
+def test_slice_always_in_range(key, k):
+    assert 0 <= slice_for_key(key, k) < k
+
+
+@given(st.text(max_size=50))
+def test_hash_is_64_bit(key):
+    assert 0 <= key_hash(key) < 2 ** 64

@@ -1,0 +1,95 @@
+"""Tests for the client-side Load Balancer strategies."""
+
+import random
+
+from repro.core.keyspace import slice_for_key
+from repro.core.loadbalancer import (
+    RandomLoadBalancer,
+    RoundRobinLoadBalancer,
+    SliceAwareLoadBalancer,
+)
+
+
+def directory_of(nodes):
+    return lambda: list(nodes)
+
+
+class TestRandom:
+    def test_pick_from_directory(self):
+        lb = RandomLoadBalancer(directory_of([1, 2, 3]), random.Random(0))
+        for _ in range(20):
+            assert lb.pick("key", 10) in (1, 2, 3)
+
+    def test_empty_directory_returns_none(self):
+        lb = RandomLoadBalancer(directory_of([]), random.Random(0))
+        assert lb.pick("key", 10) is None
+
+    def test_spreads_over_nodes(self):
+        lb = RandomLoadBalancer(directory_of(range(10)), random.Random(1))
+        picks = {lb.pick("key", 10) for _ in range(200)}
+        assert len(picks) == 10
+
+    def test_directory_changes_are_visible(self):
+        nodes = [1, 2]
+        lb = RandomLoadBalancer(lambda: nodes, random.Random(0))
+        nodes.remove(1)
+        assert all(lb.pick("k", 10) == 2 for _ in range(5))
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self):
+        lb = RoundRobinLoadBalancer(directory_of([3, 1, 2]), random.Random(0))
+        picks = [lb.pick("k", 10) for _ in range(6)]
+        assert picks == [1, 2, 3, 1, 2, 3]  # sorted directory, cycled
+
+    def test_empty_directory(self):
+        lb = RoundRobinLoadBalancer(directory_of([]), random.Random(0))
+        assert lb.pick("k", 10) is None
+
+
+class TestSliceAware:
+    def test_falls_back_to_random_without_cache(self):
+        lb = SliceAwareLoadBalancer(directory_of([1, 2]), random.Random(0))
+        assert lb.pick("key", 10) in (1, 2)
+        assert lb.cache_misses == 1
+
+    def test_uses_cached_slice_member(self):
+        lb = SliceAwareLoadBalancer(directory_of([1, 2, 3]), random.Random(0))
+        key = "user42"
+        target = slice_for_key(key, 10)
+        lb.note_responder(99, target)
+        assert lb.pick(key, 10) == 99
+        assert lb.cache_hits == 1
+
+    def test_cache_bounded_per_slice(self):
+        lb = SliceAwareLoadBalancer(directory_of([1]), random.Random(0), per_slice=2)
+        for node_id in (10, 11, 12):
+            lb.note_responder(node_id, 5)
+        assert len(lb._slice_members[5]) == 2
+        assert 10 not in lb._slice_members[5]  # FIFO eviction
+
+    def test_failure_evicts_cached_node(self):
+        lb = SliceAwareLoadBalancer(directory_of([1, 2]), random.Random(0))
+        key = "user42"
+        target = slice_for_key(key, 10)
+        lb.note_responder(99, target)
+        lb.note_failure(99)
+        assert lb.pick(key, 10) in (1, 2)
+
+    def test_node_changing_slice_moves_in_cache(self):
+        lb = SliceAwareLoadBalancer(directory_of([1]), random.Random(0))
+        lb.note_responder(50, 1)
+        lb.note_responder(50, 2)
+        assert 50 not in lb._slice_members.get(1, [])
+        assert 50 in lb._slice_members[2]
+
+    def test_none_slice_feedback_ignored(self):
+        lb = SliceAwareLoadBalancer(directory_of([1]), random.Random(0))
+        lb.note_responder(50, None)
+        assert lb.cached_slices() == set()
+
+    def test_cached_slices_reporting(self):
+        lb = SliceAwareLoadBalancer(directory_of([1]), random.Random(0))
+        lb.note_responder(10, 3)
+        lb.note_responder(11, 7)
+        assert lb.cached_slices() == {3, 7}

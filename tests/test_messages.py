@@ -1,0 +1,68 @@
+"""Tests for wire-message identities and immutability."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.messages import (
+    GetReply,
+    GetRequest,
+    PutAck,
+    PutRequest,
+    SliceAdvert,
+    SyncDigest,
+)
+
+
+def make_put(attempt=1, ttl=5):
+    return PutRequest(
+        key="k",
+        version=1,
+        value=b"v",
+        req_id=(7, 3),
+        attempt=attempt,
+        client_id=7,
+        ttl=ttl,
+    )
+
+
+def test_put_msg_id_includes_attempt():
+    first = make_put(attempt=1)
+    retry = make_put(attempt=2)
+    assert first.req_id == retry.req_id  # same logical operation
+    assert first.msg_id != retry.msg_id  # but re-disseminated afresh
+
+
+def test_get_msg_id_includes_attempt():
+    a = GetRequest("k", None, (7, 3), attempt=1, client_id=7, ttl=5)
+    b = GetRequest("k", None, (7, 3), attempt=2, client_id=7, ttl=5)
+    assert a.msg_id != b.msg_id
+    assert a.msg_id == (7, 3, 1)
+
+
+def test_messages_are_frozen():
+    msg = make_put()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        msg.ttl = 0
+
+
+def test_messages_hashable_for_dedup():
+    advert = SliceAdvert(slice_id=1, members=((1, 0), (2, 3)))
+    assert hash(advert) == hash(SliceAdvert(slice_id=1, members=((1, 0), (2, 3))))
+
+
+def test_sync_digest_carries_frozenset():
+    digest = SyncDigest(slice_id=0, digest=frozenset({("k", 1)}))
+    assert ("k", 1) in digest.digest
+
+
+def test_reply_equality():
+    a = GetReply("k", 1, b"v", True, (7, 3), responder_slice=2)
+    b = GetReply("k", 1, b"v", True, (7, 3), responder_slice=2)
+    assert a == b
+
+
+def test_ack_fields():
+    ack = PutAck("k", 4, (9, 1), responder_slice=3)
+    assert ack.version == 4
+    assert ack.responder_slice == 3

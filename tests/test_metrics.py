@@ -1,0 +1,134 @@
+"""Unit tests for metrics collection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.metrics import Histogram, MetricsRegistry, mean, percentile, stdev
+
+
+class TestScalarHelpers:
+    def test_mean_empty(self):
+        assert mean([]) == 0.0
+
+    def test_mean_values(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_stdev_short(self):
+        assert stdev([]) == 0.0
+        assert stdev([5.0]) == 0.0
+
+    def test_stdev_known(self):
+        assert stdev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.0)
+
+    def test_percentile_empty(self):
+        assert percentile([], 50) == 0.0
+
+    def test_percentile_single(self):
+        assert percentile([42.0], 99) == 42.0
+
+    def test_percentile_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_percentile_bounds(self, values):
+        assert min(values) <= percentile(values, 50) <= max(values)
+        assert percentile(values, 0) == min(values)
+        assert percentile(values, 100) == max(values)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_mean_within_bounds(self, values):
+        assert min(values) - 1e-6 <= mean(values) <= max(values) + 1e-6
+
+
+class TestHistogram:
+    def test_empty_summary(self):
+        summary = Histogram().summary()
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0
+
+    def test_summary_fields(self):
+        hist = Histogram()
+        for v in (1.0, 2.0, 3.0):
+            hist.observe(v)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["mean"] == 2.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+    def test_len(self):
+        hist = Histogram()
+        hist.observe(1.0)
+        assert len(hist) == 1
+
+
+class TestMetricsRegistry:
+    def test_counter_default_zero(self):
+        assert MetricsRegistry().get("nope") == 0.0
+
+    def test_inc_and_get(self):
+        reg = MetricsRegistry()
+        reg.inc("msgs", node=1)
+        reg.inc("msgs", node=1, by=2)
+        assert reg.get("msgs", node=1) == 3.0
+
+    def test_global_slot_is_separate(self):
+        reg = MetricsRegistry()
+        reg.inc("msgs")
+        reg.inc("msgs", node=1)
+        assert reg.get("msgs") == 1.0
+        assert reg.get("msgs", node=1) == 1.0
+        assert reg.total("msgs") == 2.0
+
+    def test_per_node_excludes_global(self):
+        reg = MetricsRegistry()
+        reg.inc("msgs")
+        reg.inc("msgs", node=3, by=5)
+        assert reg.per_node("msgs") == {3: 5.0}
+
+    def test_mean_per_node_without_population(self):
+        reg = MetricsRegistry()
+        reg.inc("msgs", node=1, by=10)
+        reg.inc("msgs", node=2, by=20)
+        assert reg.mean_per_node("msgs") == 15.0
+
+    def test_mean_per_node_with_population_counts_zeros(self):
+        # The paper's "average per node" includes idle nodes.
+        reg = MetricsRegistry()
+        reg.inc("msgs", node=1, by=10)
+        assert reg.mean_per_node("msgs", population=[1, 2, 3, 4]) == 2.5
+
+    def test_mean_per_node_empty_population(self):
+        assert MetricsRegistry().mean_per_node("msgs", population=[]) == 0.0
+
+    def test_message_load_shape(self):
+        reg = MetricsRegistry()
+        reg.inc("msg.sent", node=0, by=4)
+        reg.inc("msg.received", node=0, by=6)
+        load = reg.message_load(population=[0])
+        assert load == {"sent": 4.0, "received": 6.0, "handled": 10.0}
+
+    def test_histogram_is_memoised(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("lat") is reg.histogram("lat")
+
+    def test_observe_routes_to_histogram(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.5)
+        assert reg.histogram("lat").mean() == 0.5
+
+    def test_counter_names_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("b")
+        reg.inc("a")
+        assert reg.counter_names() == ["a", "b"]
+
+    def test_snapshot_totals(self):
+        reg = MetricsRegistry()
+        reg.inc("x", node=1)
+        reg.inc("x", node=2)
+        assert reg.snapshot() == {"x": 2.0}

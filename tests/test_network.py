@@ -1,0 +1,172 @@
+"""Unit tests for the simulated network."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import (
+    FixedLatency,
+    LogNormalLatency,
+    Network,
+    UniformLatency,
+)
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+
+
+class Probe:
+    """A message type used by the tests."""
+
+    def __init__(self, body="x"):
+        self.body = body
+
+
+def make_network(**kwargs):
+    sched = Scheduler()
+    metrics = MetricsRegistry()
+    rng = RngRegistry(seed=1).stream("net")
+    return Network(sched, rng, metrics, **kwargs), sched, metrics
+
+
+def test_delivery_with_fixed_latency():
+    net, sched, _ = make_network(latency_model=FixedLatency(0.25))
+    inbox = []
+    net.register(2, lambda msg, src: inbox.append((msg.body, src, sched.now)))
+    net.send(1, 2, Probe("hello"))
+    sched.run()
+    assert inbox == [("hello", 1, 0.25)]
+
+
+def test_message_to_unregistered_node_is_dropped():
+    net, sched, metrics = make_network()
+    assert net.send(1, 99, Probe()) is True  # on the wire
+    sched.run()
+    assert metrics.total("msg.dropped.dead") == 1
+
+
+def test_unregister_drops_in_flight_messages():
+    net, sched, metrics = make_network(latency_model=FixedLatency(1.0))
+    inbox = []
+    net.register(2, lambda msg, src: inbox.append(msg))
+    net.send(1, 2, Probe())
+    net.unregister(2)
+    sched.run()
+    assert inbox == []
+    assert metrics.total("msg.dropped.dead") == 1
+
+
+def test_send_and_receive_counters():
+    net, sched, metrics = make_network()
+    net.register(2, lambda msg, src: None)
+    net.send(1, 2, Probe())
+    sched.run()
+    assert metrics.get("msg.sent", node=1) == 1
+    assert metrics.get("msg.received", node=2) == 1
+    assert metrics.total("msg.sent.Probe") == 1
+    assert metrics.total("msg.received.Probe") == 1
+
+
+def test_loss_rate_drops_messages():
+    net, sched, metrics = make_network(loss_rate=0.5)
+    received = []
+    net.register(2, lambda msg, src: received.append(msg))
+    for _ in range(200):
+        net.send(1, 2, Probe())
+    sched.run()
+    dropped = metrics.total("msg.dropped.loss")
+    assert dropped > 0
+    assert len(received) + dropped == 200
+    # Bernoulli(0.5) over 200 trials: overwhelmingly inside [60, 140].
+    assert 60 <= dropped <= 140
+
+
+def test_invalid_loss_rate_rejected():
+    with pytest.raises(ConfigurationError):
+        make_network(loss_rate=1.0)
+
+
+def test_partition_blocks_cross_group_traffic():
+    net, sched, metrics = make_network()
+    inbox = []
+    for node_id in (1, 2, 3):
+        net.register(node_id, lambda msg, src: inbox.append(src))
+    net.set_partitions([[1], [2, 3]])
+    assert net.send(1, 2, Probe()) is False
+    assert net.send(2, 3, Probe()) is True
+    sched.run()
+    assert inbox == [2]
+    assert metrics.total("msg.dropped.partition") == 1
+
+
+def test_heal_partitions_restores_connectivity():
+    net, sched, _ = make_network()
+    inbox = []
+    net.register(1, lambda msg, src: inbox.append(src))
+    net.register(2, lambda msg, src: inbox.append(src))
+    net.set_partitions([[1], [2]])
+    net.heal_partitions()
+    net.send(1, 2, Probe())
+    sched.run()
+    assert inbox == [1]
+
+
+def test_unmentioned_nodes_form_implicit_group():
+    net, sched, _ = make_network()
+    inbox = []
+    for node_id in (1, 2, 3):
+        net.register(node_id, lambda msg, src: inbox.append(src))
+    net.set_partitions([[1]])
+    net.send(2, 3, Probe())  # both in the implicit group
+    assert net.send(1, 3, Probe()) is False
+    sched.run()
+    assert inbox == [2]
+
+
+def test_self_send_is_delivered():
+    net, sched, _ = make_network()
+    inbox = []
+    net.register(1, lambda msg, src: inbox.append(src))
+    net.send(1, 1, Probe())
+    sched.run()
+    assert inbox == [1]
+
+
+def test_registered_ids():
+    net, _, _ = make_network()
+    net.register(5, lambda m, s: None)
+    net.register(6, lambda m, s: None)
+    assert sorted(net.registered_ids) == [5, 6]
+    assert net.is_registered(5)
+    net.unregister(5)
+    assert not net.is_registered(5)
+
+
+class TestLatencyModels:
+    def test_fixed_constant(self):
+        model = FixedLatency(0.1)
+        rng = RngRegistry(0).stream("x")
+        assert model.sample(rng, 1, 2) == 0.1
+
+    def test_fixed_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            FixedLatency(-0.1)
+
+    def test_uniform_within_bounds(self):
+        model = UniformLatency(0.01, 0.05)
+        rng = RngRegistry(0).stream("x")
+        for _ in range(100):
+            assert 0.01 <= model.sample(rng, 1, 2) <= 0.05
+
+    def test_uniform_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatency(0.5, 0.1)
+
+    def test_lognormal_positive_and_capped(self):
+        model = LogNormalLatency(median=0.02, sigma=1.0, cap=0.5)
+        rng = RngRegistry(0).stream("x")
+        samples = [model.sample(rng, 1, 2) for _ in range(200)]
+        assert all(0 < s <= 0.5 for s in samples)
+
+    def test_lognormal_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            LogNormalLatency(median=0.0)

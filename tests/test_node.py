@@ -1,0 +1,186 @@
+"""Unit tests for the node/service framework and periodic timers."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.node import Node, PeriodicTask, Service
+from repro.sim.simulator import Simulation
+
+
+@dataclass(frozen=True)
+class Ping:
+    body: str = "ping"
+
+
+@dataclass(frozen=True)
+class Pong:
+    body: str = "pong"
+
+
+def make_pair():
+    sim = Simulation(seed=1)
+    a, b = sim.add_nodes(Node, 2)
+    sim.start_all()
+    return sim, a, b
+
+
+def test_message_dispatch_by_type():
+    sim, a, b = make_pair()
+    got = []
+    b.register_handler(Ping, lambda msg, src: got.append((msg.body, src)))
+    a.send(b.id, Ping())
+    sim.run_for(1)
+    assert got == [("ping", a.id)]
+
+
+def test_unhandled_message_counted_not_raised():
+    sim, a, b = make_pair()
+    a.send(b.id, Pong())
+    sim.run_for(1)
+    assert sim.metrics.total("msg.unhandled") == 1
+
+
+def test_duplicate_handler_registration_rejected():
+    sim, a, _ = make_pair()
+    a.register_handler(Ping, lambda m, s: None)
+    with pytest.raises(SimulationError):
+        a.register_handler(Ping, lambda m, s: None)
+
+
+def test_unregister_handler():
+    sim, a, b = make_pair()
+    got = []
+    b.register_handler(Ping, lambda m, s: got.append(m))
+    b.unregister_handler(Ping)
+    a.send(b.id, Ping())
+    sim.run_for(1)
+    assert got == []
+
+
+def test_dead_node_neither_sends_nor_receives():
+    sim, a, b = make_pair()
+    got = []
+    b.register_handler(Ping, lambda m, s: got.append(m))
+    b.stop()
+    assert a.send(b.id, Ping()) is True  # drops at delivery
+    sim.run_for(1)
+    assert got == []
+    a.stop()
+    assert a.send(b.id, Ping()) is False  # dead sender drops immediately
+
+
+def test_stop_is_idempotent_and_start_after_stop_works():
+    sim, a, b = make_pair()
+    a.stop()
+    a.stop()
+    a.start()
+    assert a.alive
+
+
+def test_periodic_timer_fires_and_stops_with_node():
+    sim = Simulation(seed=2)
+    node = sim.add_node(Node)
+    node.start()
+    ticks = []
+    node.every(1.0, lambda: ticks.append(sim.now), jitter=0.0)
+    sim.run_for(5.5)
+    assert len(ticks) == 5
+    node.stop()
+    sim.run_for(5)
+    assert len(ticks) == 5
+
+
+def test_periodic_task_jitter_desynchronises():
+    sim = Simulation(seed=3)
+    node = sim.add_node(Node)
+    node.start()
+    ticks = []
+    node.every(1.0, lambda: ticks.append(sim.now))  # default 10% jitter
+    sim.run_for(20)
+    gaps = [b - a for a, b in zip(ticks, ticks[1:])]
+    assert any(abs(gap - 1.0) > 1e-9 for gap in gaps)
+    assert all(0.8 <= gap <= 1.2 for gap in gaps)
+
+
+def test_periodic_task_validation():
+    sim = Simulation(seed=4)
+    node = sim.add_node(Node)
+    node.start()
+    with pytest.raises(SimulationError):
+        node.every(0.0, lambda: None)
+    with pytest.raises(SimulationError):
+        PeriodicTask(sim.scheduler, 1.0, lambda: None, jitter=1.0)
+
+
+def test_periodic_task_stop_from_inside_callback():
+    sim = Simulation(seed=5)
+    node = sim.add_node(Node)
+    node.start()
+    ticks = []
+    task_box = {}
+
+    def tick():
+        ticks.append(sim.now)
+        if len(ticks) == 2:
+            task_box["t"].stop()
+
+    task_box["t"] = node.every(1.0, tick, jitter=0.0)
+    sim.run_for(10)
+    assert len(ticks) == 2
+    assert not task_box["t"].running
+
+
+def test_after_skipped_when_node_dies():
+    sim = Simulation(seed=6)
+    node = sim.add_node(Node)
+    node.start()
+    fired = []
+    node.after(2.0, fired.append, "x")
+    node.stop()
+    sim.run_for(5)
+    assert fired == []
+
+
+class Recorder(Service):
+    def __init__(self):
+        super().__init__()
+        self.started = 0
+        self.stopped = 0
+
+    def start(self):
+        self.started += 1
+
+    def stop(self):
+        self.stopped += 1
+
+
+def test_service_lifecycle_follows_node():
+    sim = Simulation(seed=7)
+    node = sim.add_node(Node)
+    service = Recorder()
+    node.add_service(service)
+    assert service.started == 0
+    node.start()
+    assert service.started == 1
+    node.stop()
+    assert service.stopped == 1
+
+
+def test_service_added_to_running_node_starts_immediately():
+    sim = Simulation(seed=8)
+    node = sim.add_node(Node)
+    node.start()
+    service = Recorder()
+    node.add_service(service)
+    assert service.started == 1
+
+
+def test_get_service_by_class():
+    sim = Simulation(seed=9)
+    node = sim.add_node(Node)
+    service = Recorder()
+    node.add_service(service)
+    assert node.get_service(Recorder) is service
+    assert node.get_service(PeriodicTask) is None  # not a service type in use

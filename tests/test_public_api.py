@@ -1,0 +1,83 @@
+"""Tests for the package's public surface."""
+
+import repro
+
+
+def test_version_string():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_exports():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+def test_subpackage_exports_resolve():
+    import repro.analysis
+    import repro.churn
+    import repro.core
+    import repro.dht
+    import repro.gossip
+    import repro.pss
+    import repro.sim
+    import repro.slicing
+    import repro.workload
+
+    for module in (
+        repro.analysis,
+        repro.churn,
+        repro.core,
+        repro.dht,
+        repro.gossip,
+        repro.pss,
+        repro.sim,
+        repro.slicing,
+        repro.workload,
+    ):
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+
+def test_quickstart_snippet_from_module_docstring():
+    # The code shown in the package docstring must actually work.
+    from repro import DataFlasksCluster
+
+    cluster = DataFlasksCluster(n=25, seed=42)
+    cluster.warm_up(10)
+    cluster.wait_for_slices(timeout=90)
+    client = cluster.new_client()
+    cluster.put_sync(client, "user:1", b"alice", version=1)
+    result = cluster.get_sync(client, "user:1")
+    assert result.value == b"alice"
+
+
+def test_errors_hierarchy():
+    from repro import errors
+
+    for cls in (
+        errors.SimulationError,
+        errors.ConfigurationError,
+        errors.StoreError,
+        errors.ClientError,
+    ):
+        assert issubclass(cls, errors.ReproError)
+    assert issubclass(errors.CapacityExceededError, errors.StoreError)
+    assert issubclass(errors.OperationTimeoutError, errors.ClientError)
+    assert issubclass(errors.NodeDownError, errors.SimulationError)
+
+    timeout = errors.OperationTimeoutError("get", "key", 5.0)
+    assert "get" in str(timeout) and "key" in str(timeout)
+    down = errors.NodeDownError(7)
+    assert down.node_id == 7
+
+
+def test_examples_compile():
+    # Every example must at least be valid Python importable as source.
+    import os
+    import py_compile
+
+    examples_dir = os.path.join(os.path.dirname(__file__), "..", "examples")
+    files = [f for f in os.listdir(examples_dir) if f.endswith(".py")]
+    assert len(files) >= 3  # the deliverable: three or more examples
+    for name in files:
+        py_compile.compile(os.path.join(examples_dir, name), doraise=True)

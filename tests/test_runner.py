@@ -1,0 +1,101 @@
+"""Tests for the closed-loop workload runner."""
+
+import pytest
+
+from repro.workload.runner import RunStats, WorkloadRunner
+from repro.workload.ycsb import (
+    CoreWorkload,
+    WORKLOAD_A,
+    WORKLOAD_F,
+    WRITE_ONLY,
+)
+
+from tests.conftest import build_cluster
+
+
+@pytest.fixture(scope="module")
+def loaded_cluster():
+    """A cluster with a small write-only load already applied."""
+    cluster = build_cluster(n=30, seed=41)
+    workload = WRITE_ONLY.scaled(20)
+    runner = WorkloadRunner(cluster, workload, seed=1)
+    stats = runner.run_load_phase()
+    assert stats.success_rate == 1.0
+    cluster.sim.run_for(15)  # replicate
+    return cluster, workload, runner
+
+
+class TestRunStats:
+    def test_empty_stats(self):
+        stats = RunStats()
+        assert stats.success_rate == 0.0
+        assert stats.throughput == 0.0
+
+    def test_record_accumulates(self):
+        stats = RunStats()
+        stats.record("read", True, 0.5)
+        stats.record("read", False, None)
+        assert stats.issued == 2
+        assert stats.succeeded == 1
+        assert stats.failed == 1
+        assert stats.by_kind == {"read": 2}
+        assert stats.latency_summary("read")["count"] == 1
+
+    def test_latency_summary_missing_kind(self):
+        assert RunStats().latency_summary("scan")["count"] == 0
+
+
+class TestLoadPhase:
+    def test_load_phase_inserts_all(self, loaded_cluster):
+        cluster, workload, _ = loaded_cluster
+        for i in range(workload.record_count):
+            assert cluster.replication_level(workload.key_for(i)) >= 1
+
+    def test_messages_per_node_positive(self, loaded_cluster):
+        _, _, runner = loaded_cluster
+        extra = runner.run_transactions(0)
+        assert extra.issued == 0  # sanity: empty run records nothing
+
+
+class TestTransactionPhase:
+    def test_mixed_workload_succeeds(self, loaded_cluster):
+        cluster, _, _ = loaded_cluster
+        workload = WORKLOAD_A.scaled(20)
+        runner = WorkloadRunner(cluster, workload, seed=2)
+        stats = runner.run_transactions(20)
+        assert stats.issued == 20
+        assert stats.success_rate > 0.9
+
+    def test_version_oracle_monotonic(self, loaded_cluster):
+        cluster, _, _ = loaded_cluster
+        workload = CoreWorkload(
+            record_count=5,
+            read_proportion=0.0,
+            update_proportion=1.0,
+            request_distribution="uniform",
+            key_prefix="vv",
+        )
+        runner = WorkloadRunner(cluster, workload, seed=3)
+        runner.run_load_phase()
+        stats = runner.run_transactions(10)
+        assert stats.success_rate == 1.0
+        # Updates bumped versions past the insert's version 1.
+        versions = [runner._versions[k] for k in runner._versions]
+        assert max(versions) > 1
+
+    def test_rmw_counts_as_single_op(self, loaded_cluster):
+        cluster, _, _ = loaded_cluster
+        workload = WORKLOAD_F.scaled(20)
+        runner = WorkloadRunner(cluster, workload, seed=4)
+        runner._versions = {workload.key_for(i): 1 for i in range(20)}
+        stats = runner.run_transactions(10)
+        assert stats.issued == 10
+        assert stats.success_rate > 0.8
+
+    def test_throughput_positive(self, loaded_cluster):
+        cluster, _, _ = loaded_cluster
+        runner = WorkloadRunner(cluster, WORKLOAD_A.scaled(20), seed=5)
+        stats = runner.run_transactions(10)
+        assert stats.throughput > 0
+        assert stats.duration > 0
+        assert stats.messages_per_node > 0

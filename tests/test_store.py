@@ -1,0 +1,180 @@
+"""Tests for the in-memory versioned store."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.store import MemoryStore, StoredObject
+from repro.errors import CapacityExceededError
+
+
+class TestBasicOps:
+    def test_put_then_get(self):
+        store = MemoryStore()
+        assert store.put("a", 1, b"x") is True
+        obj = store.get("a", 1)
+        assert obj == StoredObject("a", 1, b"x")
+
+    def test_get_missing_returns_none(self):
+        assert MemoryStore().get("nope") is None
+
+    def test_put_duplicate_version_is_idempotent(self):
+        store = MemoryStore()
+        store.put("a", 1, b"x")
+        assert store.put("a", 1, b"y") is False
+        assert store.get("a", 1).value == b"x"  # first write wins
+
+    def test_get_latest_version(self):
+        store = MemoryStore()
+        store.put("a", 1, b"v1")
+        store.put("a", 3, b"v3")
+        store.put("a", 2, b"v2")
+        assert store.get("a").version == 3
+
+    def test_get_exact_version(self):
+        store = MemoryStore()
+        store.put("a", 1, b"v1")
+        store.put("a", 2, b"v2")
+        assert store.get("a", 1).value == b"v1"
+        assert store.get("a", 99) is None
+
+    def test_len_counts_versions(self):
+        store = MemoryStore()
+        store.put("a", 1, b"")
+        store.put("a", 2, b"")
+        store.put("b", 1, b"")
+        assert len(store) == 3
+
+    def test_contains_checks_key_version_pair(self):
+        store = MemoryStore()
+        store.put("a", 1, b"")
+        assert ("a", 1) in store
+        assert ("a", 2) not in store
+
+
+class TestDelete:
+    def test_delete_specific_version(self):
+        store = MemoryStore()
+        store.put("a", 1, b"")
+        store.put("a", 2, b"")
+        assert store.delete("a", 1) == 1
+        assert store.get("a", 1) is None
+        assert store.get("a", 2) is not None
+        assert len(store) == 1
+
+    def test_delete_all_versions(self):
+        store = MemoryStore()
+        store.put("a", 1, b"")
+        store.put("a", 2, b"")
+        assert store.delete("a") == 2
+        assert store.get("a") is None
+        assert len(store) == 0
+
+    def test_delete_missing(self):
+        store = MemoryStore()
+        assert store.delete("a") == 0
+        store.put("a", 1, b"")
+        assert store.delete("a", 9) == 0
+
+
+class TestDigestAndIteration:
+    def test_digest_contents(self):
+        store = MemoryStore()
+        store.put("a", 1, b"")
+        store.put("b", 2, b"")
+        assert store.digest() == frozenset({("a", 1), ("b", 2)})
+
+    def test_keys_and_versions(self):
+        store = MemoryStore()
+        store.put("a", 2, b"")
+        store.put("a", 1, b"")
+        assert store.keys() == ["a"]
+        assert store.versions("a") == [1, 2]
+        assert store.versions("zz") == []
+
+    def test_items_yields_all_versions(self):
+        store = MemoryStore()
+        store.put("a", 1, b"x")
+        store.put("b", 1, b"y")
+        items = sorted((o.key, o.version) for o in store.items())
+        assert items == [("a", 1), ("b", 1)]
+
+
+class TestCapacity:
+    def test_capacity_enforced(self):
+        store = MemoryStore(capacity=2)
+        store.put("a", 1, b"")
+        store.put("b", 1, b"")
+        with pytest.raises(CapacityExceededError):
+            store.put("c", 1, b"")
+
+    def test_duplicate_put_does_not_consume_capacity(self):
+        store = MemoryStore(capacity=1)
+        store.put("a", 1, b"")
+        assert store.put("a", 1, b"") is False  # no raise
+
+    def test_delete_frees_capacity(self):
+        store = MemoryStore(capacity=1)
+        store.put("a", 1, b"")
+        store.delete("a")
+        store.put("b", 1, b"")
+        assert store.get("b") is not None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(CapacityExceededError):
+            MemoryStore(capacity=0)
+
+
+class StoreModel:
+    """Reference model for the property test: a plain dict of dicts."""
+
+    def __init__(self):
+        self.data = {}
+
+    def put(self, key, version, value):
+        self.data.setdefault(key, {}).setdefault(version, value)
+
+    def delete(self, key, version):
+        if version is None:
+            self.data.pop(key, None)
+        elif key in self.data:
+            self.data[key].pop(version, None)
+            if not self.data[key]:
+                del self.data[key]
+
+    def digest(self):
+        return frozenset((k, v) for k, vs in self.data.items() for v in vs)
+
+
+op_st = st.one_of(
+    st.tuples(
+        st.just("put"),
+        st.sampled_from(["a", "b", "c"]),
+        st.integers(min_value=1, max_value=5),
+        st.binary(max_size=4),
+    ),
+    st.tuples(
+        st.just("delete"),
+        st.sampled_from(["a", "b", "c"]),
+        st.one_of(st.none(), st.integers(min_value=1, max_value=5)),
+    ),
+)
+
+
+@given(st.lists(op_st, max_size=50))
+def test_store_matches_reference_model(ops):
+    store = MemoryStore()
+    model = StoreModel()
+    for op in ops:
+        if op[0] == "put":
+            _, key, version, value = op
+            store.put(key, version, value)
+            model.put(key, version, value)
+        else:
+            _, key, version = op
+            store.delete(key, version)
+            model.delete(key, version)
+    assert store.digest() == model.digest()
+    assert len(store) == len(model.digest())
+    for key, version in model.digest():
+        assert store.get(key, version).value == model.data[key][version]

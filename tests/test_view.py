@@ -1,0 +1,144 @@
+"""Unit and property tests for partial views."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.pss.view import NodeDescriptor, PartialView
+
+descriptor_st = st.builds(
+    NodeDescriptor,
+    node_id=st.integers(min_value=0, max_value=40),
+    age=st.integers(min_value=0, max_value=20),
+)
+
+
+class TestNodeDescriptor:
+    def test_aged_copy(self):
+        d = NodeDescriptor(1, age=2)
+        assert d.aged().age == 3
+        assert d.age == 2  # immutable
+
+    def test_fresh_copy(self):
+        assert NodeDescriptor(1, age=9).fresh().age == 0
+
+    def test_equality_and_hash(self):
+        assert NodeDescriptor(1, 0) == NodeDescriptor(1, 0)
+        assert len({NodeDescriptor(1, 0), NodeDescriptor(1, 0)}) == 1
+
+
+class TestPartialView:
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            PartialView(0)
+
+    def test_add_and_contains(self):
+        view = PartialView(4)
+        view.add(NodeDescriptor(7))
+        assert 7 in view
+        assert len(view) == 1
+
+    def test_add_keeps_youngest_duplicate(self):
+        view = PartialView(4)
+        view.add(NodeDescriptor(1, age=5))
+        view.add(NodeDescriptor(1, age=2))
+        assert view.get(1).age == 2
+        view.add(NodeDescriptor(1, age=9))
+        assert view.get(1).age == 2
+
+    def test_overflow_evicts_oldest(self):
+        view = PartialView(2)
+        view.add(NodeDescriptor(1, age=5))
+        view.add(NodeDescriptor(2, age=1))
+        view.add(NodeDescriptor(3, age=0))
+        assert len(view) == 2
+        assert 1 not in view
+
+    def test_oldest_tie_breaks_by_id(self):
+        view = PartialView(3)
+        view.add(NodeDescriptor(2, age=4))
+        view.add(NodeDescriptor(9, age=4))
+        assert view.oldest().node_id == 9
+
+    def test_remove(self):
+        view = PartialView(2)
+        view.add(NodeDescriptor(1))
+        assert view.remove(1) is True
+        assert view.remove(1) is False
+
+    def test_increase_ages(self):
+        view = PartialView(3)
+        view.add(NodeDescriptor(1, age=0))
+        view.add(NodeDescriptor(2, age=3))
+        view.increase_ages()
+        assert view.get(1).age == 1
+        assert view.get(2).age == 4
+
+    def test_random_id_none_when_empty(self):
+        assert PartialView(2).random_id(random.Random(0)) is None
+
+    def test_sample_ids_distinct(self):
+        view = PartialView(10)
+        for i in range(10):
+            view.add(NodeDescriptor(i))
+        sample = view.sample_ids(random.Random(1), 5)
+        assert len(sample) == 5
+        assert len(set(sample)) == 5
+
+    def test_sample_more_than_available_returns_all(self):
+        view = PartialView(10)
+        for i in range(3):
+            view.add(NodeDescriptor(i))
+        assert sorted(view.sample_ids(random.Random(1), 99)) == [0, 1, 2]
+
+    def test_merge_skips_self(self):
+        view = PartialView(4)
+        view.merge([NodeDescriptor(5, 0)], self_id=5)
+        assert len(view) == 0
+
+    def test_merge_prefers_younger_entry(self):
+        view = PartialView(4)
+        view.add(NodeDescriptor(1, age=7))
+        view.merge([NodeDescriptor(1, age=1)], self_id=99)
+        assert view.get(1).age == 1
+
+    def test_merge_evicts_sent_entries_first(self):
+        view = PartialView(2)
+        view.add(NodeDescriptor(1, age=0))
+        view.add(NodeDescriptor(2, age=9))
+        sent = [NodeDescriptor(1, age=0)]
+        view.merge([NodeDescriptor(3, age=0)], self_id=99, sent=sent)
+        # Node 1 was offered away, so it is evicted before old node 2.
+        assert 1 not in view
+        assert 2 in view and 3 in view
+
+    @given(st.lists(descriptor_st, max_size=60), st.integers(min_value=1, max_value=8))
+    def test_never_exceeds_capacity(self, descriptors, capacity):
+        view = PartialView(capacity)
+        for d in descriptors:
+            view.add(d)
+        assert len(view) <= capacity
+
+    @given(st.lists(descriptor_st, max_size=60), st.integers(min_value=1, max_value=8))
+    def test_at_most_one_entry_per_id(self, descriptors, capacity):
+        view = PartialView(capacity)
+        for d in descriptors:
+            view.add(d)
+        ids = view.ids()
+        assert len(ids) == len(set(ids))
+
+    @given(
+        st.lists(descriptor_st, max_size=30),
+        st.lists(descriptor_st, max_size=30),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_merge_never_exceeds_capacity_nor_contains_self(self, initial, received, capacity):
+        view = PartialView(capacity)
+        for d in initial:
+            view.add(d)
+        view.merge(received, self_id=3)
+        assert len(view) <= capacity
+        assert 3 not in view or any(d.node_id == 3 for d in initial)

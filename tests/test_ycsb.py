@@ -1,0 +1,128 @@
+"""Tests for the YCSB-style workload generator."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.ycsb import (
+    INSERT,
+    READ,
+    RMW,
+    SCAN,
+    UPDATE,
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+    WORKLOAD_E,
+    WORKLOAD_F,
+    WRITE_ONLY,
+    CoreWorkload,
+)
+
+
+class TestValidation:
+    def test_proportions_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            CoreWorkload(read_proportion=0.5, update_proportion=0.6)
+
+    def test_record_count_positive(self):
+        with pytest.raises(ConfigurationError):
+            CoreWorkload(record_count=0)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ConfigurationError):
+            CoreWorkload(request_distribution="pareto")
+
+    def test_value_size_positive(self):
+        with pytest.raises(ConfigurationError):
+            CoreWorkload(value_size=0)
+
+
+class TestLoadPhase:
+    def test_inserts_every_record_once(self):
+        workload = WRITE_ONLY.scaled(50)
+        ops = list(workload.load_items(random.Random(0)))
+        assert len(ops) == 50
+        assert all(op.kind == INSERT for op in ops)
+        assert sorted(op.key for op in ops) == sorted(
+            f"user{i}" for i in range(50)
+        )
+
+    def test_values_have_configured_size(self):
+        workload = CoreWorkload(
+            record_count=5, read_proportion=1.0, update_proportion=0.0, value_size=37
+        )
+        for op in workload.load_items(random.Random(0)):
+            assert len(op.value) == 37
+
+
+class TestTransactionPhase:
+    def test_operation_count(self):
+        ops = list(WORKLOAD_A.operations(200, random.Random(1)))
+        assert len(ops) == 200
+
+    def test_mix_matches_proportions(self):
+        ops = list(WORKLOAD_A.scaled(500).operations(4000, random.Random(2)))
+        counts = Counter(op.kind for op in ops)
+        assert 0.4 < counts[READ] / 4000 < 0.6
+        assert 0.4 < counts[UPDATE] / 4000 < 0.6
+
+    def test_write_only_generates_fresh_keys(self):
+        workload = WRITE_ONLY.scaled(10)
+        ops = list(workload.operations(5, random.Random(3)))
+        assert [op.key for op in ops] == [f"user{i}" for i in range(10, 15)]
+
+    def test_reads_stay_within_keyspace(self):
+        workload = WORKLOAD_C.scaled(100)
+        for op in workload.operations(1000, random.Random(4)):
+            assert 0 <= int(op.key[4:]) < 100
+
+    def test_rmw_and_scan_kinds(self):
+        f_ops = Counter(
+            op.kind for op in WORKLOAD_F.scaled(100).operations(1000, random.Random(5))
+        )
+        assert f_ops[RMW] > 300
+        e_ops = list(WORKLOAD_E.scaled(100).operations(1000, random.Random(6)))
+        scans = [op for op in e_ops if op.kind == SCAN]
+        assert len(scans) > 800
+        assert all(1 <= op.scan_length <= 10 for op in scans)
+
+    def test_latest_distribution_follows_inserts(self):
+        workload = WORKLOAD_D.scaled(100)
+        ops = list(workload.operations(2000, random.Random(7)))
+        inserted = [op for op in ops if op.kind == INSERT]
+        assert inserted  # 5% of 2000
+        read_indexes = [int(op.key[4:]) for op in ops if op.kind == READ]
+        # Reads skew towards the newest items.
+        assert sum(read_indexes) / len(read_indexes) > 60
+
+
+class TestPresets:
+    @pytest.mark.parametrize(
+        "workload,name",
+        [
+            (WORKLOAD_A, "ycsb-a"),
+            (WORKLOAD_B, "ycsb-b"),
+            (WORKLOAD_C, "ycsb-c"),
+            (WORKLOAD_D, "ycsb-d"),
+            (WORKLOAD_E, "ycsb-e"),
+            (WORKLOAD_F, "ycsb-f"),
+            (WRITE_ONLY, "write-only"),
+        ],
+    )
+    def test_presets_valid_and_named(self, workload, name):
+        assert workload.name == name
+        ops = list(workload.scaled(20).operations(10, random.Random(0)))
+        assert len(ops) == 10
+
+    def test_write_only_is_pure_insert(self):
+        ops = list(WRITE_ONLY.scaled(20).operations(50, random.Random(1)))
+        assert all(op.kind == INSERT for op in ops)
+
+    def test_scaled_preserves_mix(self):
+        scaled = WORKLOAD_B.scaled(9999)
+        assert scaled.record_count == 9999
+        assert scaled.read_proportion == WORKLOAD_B.read_proportion
