@@ -6,57 +6,41 @@ systems get the same treatment — load a working set, let replication
 settle, then apply increasingly brutal instantaneous failures and
 measure read availability immediately after (no grace period: the point
 is behaviour *while* the overlay is wounded).
+
+Both arms are the bundled ``catastrophic-failure`` / ``dht-baseline``
+scenario specs with the kill fraction swept; availability is the
+post-failure read success rate the scenario runner already reports.
 """
 
 import pytest
 
 from repro.analysis.tables import rows_to_table
-from repro.core.cluster import DataFlasksCluster
-from repro.core.config import DataFlasksConfig
-from repro.dht.cluster import DhtCluster
+from repro.scenarios.registry import load_bundled
+from repro.scenarios.runner import run_scenario
 
 from conftest import report
 
 N = 80
 KEYS = 15
+READS = 30
 KILL_FRACTIONS = (0.1, 0.3, 0.5)
 
 
-def measure_availability(cluster, client, keys):
-    ok = 0
-    for key in keys:
-        op = client.get(key)
-        cluster.sim.run_until_condition(lambda: op.done, timeout=40)
-        ok += op.done and op.succeeded
-    return ok / len(keys)
+def measure_availability(scenario: str, kill_fraction: float, seed: int) -> float:
+    spec = load_bundled(scenario).scaled(
+        nodes=N, record_count=KEYS, operation_count=READS, settle=25.0
+    )
+    spec.churn.fraction = kill_fraction
+    result = run_scenario(spec, seed=seed)
+    return result.metrics["txn_success_rate"]
 
 
-def run_dataflasks(kill_fraction: float, seed: int):
-    config = DataFlasksConfig(num_slices=8)
-    cluster = DataFlasksCluster(n=N, config=config, seed=seed)
-    cluster.warm_up(10)
-    cluster.wait_for_slices(timeout=90)
-    client = cluster.new_client(timeout=4.0, retries=2)
-    keys = [f"avail:{i}" for i in range(KEYS)]
-    for i, key in enumerate(keys):
-        cluster.put_sync(client, key, b"payload", 1)
-    cluster.sim.run_for(25)  # anti-entropy replication
-
-    cluster.churn_controller().kill_fraction(kill_fraction)
-    return measure_availability(cluster, client, keys)
+def run_dataflasks(kill_fraction: float, seed: int) -> float:
+    return measure_availability("catastrophic-failure", kill_fraction, seed)
 
 
-def run_dht(kill_fraction: float, seed: int):
-    cluster = DhtCluster(n=N, replication=3, seed=seed)
-    cluster.stabilize(15)
-    client = cluster.new_client(timeout=4.0, retries=2)
-    keys = [f"avail:{i}" for i in range(KEYS)]
-    for key in keys:
-        cluster.put_sync(client, key, b"payload", 1)
-    cluster.sim.run_for(25)  # repair rounds replicate
-
-    cluster.churn_controller().kill_fraction(kill_fraction)
-    return measure_availability(cluster, client, keys)
+def run_dht(kill_fraction: float, seed: int) -> float:
+    return measure_availability("dht-baseline", kill_fraction, seed)
 
 
 @pytest.mark.benchmark(group="ablation-churn")

@@ -4,67 +4,52 @@ The paper only ran the write-only load; this bench exercises the full
 YCSB core suite against a mid-size cluster, reporting success rate,
 latency and per-node message cost per mix — the table a practitioner
 would want before adopting the substrate.
+
+Each mix is one :class:`~repro.scenarios.spec.ScenarioSpec` derived from
+the bundled ``baseline`` scenario, so the bench is a thin sweep over the
+scenario engine rather than bespoke cluster wiring.
 """
 
 import pytest
 
 from repro.analysis.tables import rows_to_table
-from repro.core.cluster import DataFlasksCluster
-from repro.core.config import DataFlasksConfig
-from repro.workload.runner import WorkloadRunner
-from repro.workload.ycsb import (
-    WORKLOAD_A,
-    WORKLOAD_B,
-    WORKLOAD_C,
-    WORKLOAD_D,
-    WORKLOAD_E,
-    WORKLOAD_F,
-)
+from repro.scenarios.registry import load_bundled
+from repro.scenarios.runner import run_scenario
 
 from conftest import report
 
 N = 60
 RECORDS = 40
 OPS = 60
+MIXES = ("ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f")
 
 
-def run_workload(workload, seed: int):
-    config = DataFlasksConfig(num_slices=6)
-    cluster = DataFlasksCluster(n=N, config=config, seed=seed)
-    cluster.warm_up(10)
-    cluster.wait_for_slices(timeout=90)
-    runner = WorkloadRunner(cluster, workload.scaled(RECORDS), seed=seed)
-    load_stats = runner.run_load_phase()
-    assert load_stats.success_rate == 1.0
-    cluster.sim.run_for(20)  # replicate before the transaction phase
-
-    before = cluster.server_message_load()["handled"]
-    stats = runner.run_transactions(OPS)
-    after = cluster.server_message_load()["handled"]
-    reads = stats.latency_summary("read")
+def run_workload(preset: str, seed: int):
+    spec = load_bundled("baseline").scaled(
+        name=f"ycsb-suite-{preset}",
+        nodes=N,
+        num_slices=6,
+        record_count=RECORDS,
+        operation_count=OPS,
+    )
+    spec.workload.preset = preset
+    result = run_scenario(spec, seed=seed)
+    m = result.metrics
+    assert m["load_success_rate"] == 1.0
     return {
-        "workload": workload.name,
-        "success_rate": stats.success_rate,
-        "throughput": stats.throughput,
-        "read_p50": reads["p50"],
-        "read_p99": reads["p99"],
-        "msgs_per_node": after - before,
+        "workload": preset,
+        "success_rate": m["txn_success_rate"],
+        "throughput": m["txn_throughput"],
+        "read_p50": m.get("latency_read_p50", 0.0),
+        "read_p99": m.get("latency_read_p99", 0.0),
+        "msgs_per_node": m["txn_messages_per_node"],
     }
 
 
 @pytest.mark.benchmark(group="ablation-ycsb")
 def test_ycsb_core_suite(benchmark):
-    workloads = [
-        WORKLOAD_A,
-        WORKLOAD_B,
-        WORKLOAD_C,
-        WORKLOAD_D,
-        WORKLOAD_E,
-        WORKLOAD_F,
-    ]
-
     def sweep():
-        return [run_workload(w, seed=91 + i) for i, w in enumerate(workloads)]
+        return [run_workload(preset, seed=91 + i) for i, preset in enumerate(MIXES)]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     report(

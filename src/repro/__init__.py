@@ -19,8 +19,8 @@ Quickstart::
     result = cluster.get_sync(client, "user:1")
     assert result.value == b"alice"
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-reproduced figures.
+See DESIGN.md for the paper-vs-reproduction mapping and
+benchmarks/README.md for the reproduced figures.
 """
 
 from repro.core import (

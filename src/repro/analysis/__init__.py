@@ -2,9 +2,12 @@
 
 * :mod:`repro.analysis.experiments` — parameterised sweeps behind the
   Figure 3 / Figure 4 benches
+* :mod:`repro.analysis.aggregate` — cross-seed aggregation for scenario
+  sweeps
 * :mod:`repro.analysis.tables` — ASCII tables/series for bench output
 """
 
+from repro.analysis.aggregate import aggregate_rows, aggregate_table_rows
 from repro.analysis.health import ConsistencyReport, check_cluster, missing_objects
 from repro.analysis.experiments import (
     default_node_counts,
@@ -17,6 +20,8 @@ from repro.analysis.tables import format_series, format_table, rows_to_table
 
 __all__ = [
     "ConsistencyReport",
+    "aggregate_rows",
+    "aggregate_table_rows",
     "check_cluster",
     "missing_objects",
     "default_node_counts",

@@ -1,0 +1,47 @@
+"""Cross-run aggregation of metric rows.
+
+Multi-seed sweeps produce one flat ``name -> float`` mapping per seed;
+:func:`aggregate_rows` collapses them into per-metric summary statistics
+(mean, population stdev, min, max, sample count). Metrics missing from
+some rows are aggregated over the rows that have them — a scenario that
+skips its transaction phase at one seed simply contributes nothing to
+the latency aggregates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.sim.metrics import mean, stdev
+
+__all__ = ["aggregate_rows", "aggregate_table_rows"]
+
+
+def aggregate_rows(
+    rows: Sequence[Dict[str, float]],
+) -> Dict[str, Dict[str, float]]:
+    """``metric -> {mean, stdev, min, max, n}`` over a list of metric rows."""
+    by_metric: Dict[str, List[float]] = {}
+    for row in rows:
+        for name, value in row.items():
+            by_metric.setdefault(name, []).append(float(value))
+    return {
+        name: {
+            "mean": mean(values),
+            "stdev": stdev(values),
+            "min": min(values),
+            "max": max(values),
+            "n": float(len(values)),
+        }
+        for name, values in sorted(by_metric.items())
+    }
+
+
+def aggregate_table_rows(
+    aggregate: Dict[str, Dict[str, float]],
+) -> List[Dict[str, float]]:
+    """Flatten an aggregate into rows for
+    :func:`repro.analysis.tables.rows_to_table` (one row per metric)."""
+    return [
+        {"metric": name, **stats} for name, stats in aggregate.items()
+    ]

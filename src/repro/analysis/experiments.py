@@ -17,7 +17,7 @@ with identical slice ratios (see DESIGN.md). Set ``REPRO_FULL_SCALE=1``
 to run the paper's exact sizes.
 
 Each driver returns a list of row dicts (one per swept system size) that
-the benches print and EXPERIMENTS.md records.
+the benches print and benchmarks/results.txt records.
 """
 
 from __future__ import annotations

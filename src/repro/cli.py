@@ -6,6 +6,9 @@ Usage (after ``pip install -e .``)::
     python -m repro fig3 --nodes 100 200 # Figure 3 sweep
     python -m repro fig4 --nodes 100 200 # Figure 4 sweep
     python -m repro check --nodes 50     # deploy, load, health report
+    python -m repro scenarios list       # bundled scenario catalogue
+    python -m repro scenarios run catastrophic-failure --seed 7
+    python -m repro scenarios sweep baseline --seeds 0 1 2
 
 Each subcommand prints the same tables the benches emit, so the CLI is
 the quickest way to eyeball a result before running the full pytest
@@ -17,14 +20,19 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional, Sequence
 
+from repro.analysis.aggregate import aggregate_table_rows
 from repro.analysis.experiments import (
     run_constant_slices,
     run_proportional_slices,
 )
 from repro.analysis.health import check_cluster
-from repro.analysis.tables import format_series, rows_to_table
+from repro.analysis.tables import format_series, format_table, rows_to_table
 from repro.core.cluster import DataFlasksCluster
 from repro.core.config import DataFlasksConfig
+from repro.errors import ConfigurationError
+from repro.scenarios.registry import bundled_names, load_all_bundled, load_bundled
+from repro.scenarios.runner import run_scenario, run_sweep
+from repro.scenarios.spec import ScenarioSpec, load_spec
 
 __all__ = ["main", "build_parser"]
 
@@ -61,7 +69,72 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--keys", type=int, default=10)
     check.add_argument("--seed", type=int, default=7)
 
+    scenarios = sub.add_parser(
+        "scenarios", help="declarative experiments (list, run, sweep)"
+    )
+    action = scenarios.add_subparsers(dest="action", required=True)
+
+    action.add_parser("list", help="show the bundled scenario catalogue")
+
+    run = action.add_parser("run", help="execute one scenario at one seed")
+    _add_scenario_selection(run)
+    run.add_argument("--seed", type=int, default=None, help="override the spec's seed")
+    run.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the canonical JSON summary instead of a table "
+        "(byte-identical across runs of the same spec and seed)",
+    )
+
+    sweep = action.add_parser("sweep", help="run a scenario over several seeds")
+    _add_scenario_selection(sweep)
+    sweep.add_argument(
+        "--seeds", type=int, nargs="+", default=[0, 1, 2], help="seeds to run"
+    )
+
     return parser
+
+
+def _add_scenario_selection(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        help=f"bundled scenario name ({', '.join(bundled_names())})",
+    )
+    parser.add_argument(
+        "--spec", help="path to a custom .toml/.json spec (instead of a bundled name)"
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=None, help="override the spec's population"
+    )
+    parser.add_argument(
+        "--records", type=int, default=None, help="override the workload record count"
+    )
+    parser.add_argument(
+        "--ops", type=int, default=None, help="override the transaction op count"
+    )
+
+
+def _resolve_spec(args: argparse.Namespace) -> ScenarioSpec:
+    if args.spec and args.scenario:
+        raise SystemExit(
+            f"give either a bundled scenario name ({args.scenario!r}) or "
+            f"--spec {args.spec!r}, not both"
+        )
+    if args.spec:
+        spec = load_spec(args.spec)
+    elif args.scenario:
+        spec = load_bundled(args.scenario)
+    else:
+        raise SystemExit("give a bundled scenario name or --spec FILE")
+    overrides = {}
+    if args.nodes is not None:
+        overrides["nodes"] = args.nodes
+    if args.records is not None:
+        overrides["record_count"] = args.records
+    if args.ops is not None:
+        overrides["operation_count"] = args.ops
+    return spec.scaled(**overrides) if overrides else spec
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -136,14 +209,65 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.healthy else 1
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        rows = [
+            {
+                "name": name,
+                "stack": spec.stack,
+                "nodes": spec.nodes,
+                "churn": spec.churn.kind if spec.churn else "-",
+                "workload": spec.workload.preset,
+                "description": spec.description,
+            }
+            for name, spec in load_all_bundled().items()
+        ]
+        print(
+            rows_to_table(
+                rows, ["name", "stack", "nodes", "churn", "workload", "description"]
+            )
+        )
+        return 0
+
+    spec = _resolve_spec(args)
+    if args.action == "run":
+        result = run_scenario(spec, seed=args.seed)
+        if args.summary:
+            print(result.summary_json())
+        else:
+            print(f"scenario: {result.scenario} (seed {result.seed})")
+            print(
+                format_table(
+                    ["metric", "value"], sorted(result.metrics.items())
+                )
+            )
+        return 0
+
+    # sweep
+    result = run_sweep(spec, seeds=args.seeds)
+    print(f"scenario: {result.scenario} over seeds {result.seeds}")
+    print(
+        rows_to_table(
+            aggregate_table_rows(result.aggregate),
+            ["metric", "mean", "stdev", "min", "max", "n"],
+        )
+    )
+    return 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "fig3": _cmd_fig3,
     "fig4": _cmd_fig4,
     "check": _cmd_check,
+    "scenarios": _cmd_scenarios,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}")
+        return 2

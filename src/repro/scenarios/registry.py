@@ -1,0 +1,56 @@
+"""Bundled scenario registry.
+
+The ``specs/`` directory next to this module holds the shipped scenario
+files — one TOML file per scenario, named after the scenario. They are
+ordinary :func:`repro.scenarios.spec.load_spec` files, so copying one
+out and editing it is the intended way to derive a custom experiment.
+
+Bundled set (see each file's ``description`` for the full story):
+
+========================  ====================================================
+``baseline``              steady-state DATAFLASKS, mixed read/update workload
+``steady-churn``          constant-population node turnover during requests
+``flash-crowd``           a sudden join burst doubling the population
+``catastrophic-failure``  30% of servers die at one instant, no grace period
+``skewed-ycsb``           zipfian hotspot reads (YCSB-B shape)
+``heterogeneous-latency`` lognormal WAN latency plus message loss
+``dht-baseline``          the Chord stack under the catastrophic failure
+``scale-5k``              the paper-scale 5,000-node write-only run
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import ScenarioSpec, load_spec
+
+__all__ = ["SPEC_DIR", "bundled_names", "load_bundled", "load_all_bundled"]
+
+SPEC_DIR = os.path.join(os.path.dirname(__file__), "specs")
+
+
+def bundled_names() -> List[str]:
+    """Names of all shipped scenarios, sorted."""
+    return sorted(
+        entry[: -len(".toml")]
+        for entry in os.listdir(SPEC_DIR)
+        if entry.endswith(".toml")
+    )
+
+
+def load_bundled(name: str) -> ScenarioSpec:
+    """Load one shipped scenario by name."""
+    path = os.path.join(SPEC_DIR, f"{name}.toml")
+    if not os.path.isfile(path):
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; bundled: {bundled_names()}"
+        )
+    return load_spec(path)
+
+
+def load_all_bundled() -> Dict[str, ScenarioSpec]:
+    """All shipped scenarios, keyed by name."""
+    return {name: load_bundled(name) for name in bundled_names()}

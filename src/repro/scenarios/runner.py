@@ -1,0 +1,212 @@
+"""Deterministic scenario execution.
+
+:func:`run_scenario` turns a :class:`~repro.scenarios.spec.ScenarioSpec`
+into one simulated experiment and returns a :class:`ScenarioResult`
+whose metrics are a flat, sorted ``name -> float`` mapping. Everything
+random flows from the simulation's seeded RNG registry plus the workload
+runner's derived seed, so two runs of the same spec and seed produce
+*byte-identical* summaries (:meth:`ScenarioResult.summary_json`) — the
+reproducibility contract the CLI and tests assert.
+
+:func:`run_sweep` repeats a spec over several seeds and aggregates the
+per-seed metrics through :func:`repro.analysis.aggregate.aggregate_rows`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.analysis.aggregate import aggregate_rows
+from repro.churn.controller import ChurnController
+from repro.core.cluster import DataFlasksCluster
+from repro.core.config import DataFlasksConfig
+from repro.dht.cluster import DhtCluster
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.metrics import mean
+from repro.sim.simulator import Simulation
+from repro.slicing.metrics import slice_histogram, unassigned_fraction
+from repro.workload.runner import RunStats, WorkloadRunner
+
+__all__ = ["ScenarioResult", "SweepResult", "run_scenario", "run_sweep"]
+
+Cluster = Union[DataFlasksCluster, DhtCluster]
+
+# How many of the loaded keys the replication metric samples; sweeping
+# every key on a 5k-node run would dominate the collection cost.
+REPLICATION_SAMPLE = 25
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run at one seed."""
+
+    scenario: str
+    seed: int
+    metrics: Dict[str, float]
+
+    def summary_json(self) -> str:
+        """Canonical serialisation: sorted keys, fixed float formatting.
+
+        Two runs of the same spec+seed must produce byte-identical output;
+        the determinism tests and the CLI ``--summary`` flag rely on it.
+        """
+        return json.dumps(
+            {"scenario": self.scenario, "seed": self.seed, "metrics": self.metrics},
+            sort_keys=True,
+        )
+
+
+@dataclass
+class SweepResult:
+    """Per-seed results plus cross-seed aggregates for one spec."""
+
+    scenario: str
+    seeds: List[int]
+    results: List[ScenarioResult]
+    aggregate: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def rows(self) -> List[Dict[str, float]]:
+        """One row per seed — ready for ``rows_to_table``."""
+        return [dict(r.metrics, seed=r.seed) for r in self.results]
+
+
+def run_scenario(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResult:
+    """Execute ``spec`` once; ``seed`` overrides the spec's default."""
+    seed = spec.seed if seed is None else seed
+    sim = Simulation(seed=seed, latency_model=spec.latency.build(), loss_rate=spec.loss_rate)
+    cluster = _deploy(spec, sim)
+    metrics: Dict[str, float] = {}
+
+    cluster_size_before = len(cluster.servers)
+    metrics["converged"] = float(_converge(spec, cluster))
+
+    workload = spec.workload.build()
+    runner = WorkloadRunner(
+        cluster,
+        workload,
+        seed=seed,
+        op_timeout=spec.workload.op_timeout,
+        acks_required=spec.workload.acks_required,
+    )
+    load_stats = runner.run_load_phase()
+    sim.run_for(spec.settle)
+
+    controller = _inject_churn(spec, cluster)
+
+    txn_stats: Optional[RunStats] = None
+    if spec.workload.operation_count > 0:
+        txn_stats = runner.run_transactions(spec.workload.operation_count)
+    elif spec.churn is not None:
+        # No transaction phase: still play the churn schedule out so its
+        # effects are visible in the population/replication metrics.
+        sim.run_for(spec.churn.horizon)
+    sim.run_for(spec.cooldown)
+
+    _collect(spec, cluster, controller, load_stats, txn_stats, workload, metrics)
+    metrics["population_before_churn"] = float(cluster_size_before)
+    metrics["sim_time"] = _r(sim.now)
+    metrics["events_processed"] = float(sim.scheduler.events_processed)
+    return ScenarioResult(spec.name, seed, dict(sorted(metrics.items())))
+
+
+def run_sweep(spec: ScenarioSpec, seeds: Sequence[int]) -> SweepResult:
+    """Run ``spec`` once per seed and aggregate the metrics."""
+    results = [run_scenario(spec, seed) for seed in seeds]
+    return SweepResult(
+        scenario=spec.name,
+        seeds=list(seeds),
+        results=results,
+        aggregate=aggregate_rows([r.metrics for r in results]),
+    )
+
+
+# ---------------------------------------------------------------- internals
+
+
+def _deploy(spec: ScenarioSpec, sim: Simulation) -> Cluster:
+    if spec.stack == "dht":
+        return DhtCluster(n=spec.nodes, replication=spec.replication, sim=sim)
+    config = DataFlasksConfig(num_slices=spec.num_slices, **spec.config)
+    return DataFlasksCluster(n=spec.nodes, config=config, sim=sim)
+
+
+def _converge(spec: ScenarioSpec, cluster: Cluster) -> bool:
+    if isinstance(cluster, DhtCluster):
+        cluster.stabilize(spec.warmup)
+        return cluster.ring_is_consistent()
+    cluster.warm_up(spec.warmup)
+    return cluster.wait_for_slices(timeout=spec.convergence_timeout)
+
+
+def _inject_churn(spec: ScenarioSpec, cluster: Cluster) -> Optional[ChurnController]:
+    if spec.churn is None:
+        return None
+    cluster.sim.run_for(spec.churn.start)
+    controller = cluster.churn_controller()
+    if spec.churn.kind == "correlated":
+        controller.kill_fraction(spec.churn.fraction)
+    else:
+        model = spec.churn.build(population=spec.nodes)
+        controller.apply(model, horizon=spec.churn.horizon)
+    return controller
+
+
+def _collect(
+    spec: ScenarioSpec,
+    cluster: Cluster,
+    controller: Optional[ChurnController],
+    load_stats: RunStats,
+    txn_stats: Optional[RunStats],
+    workload,
+    metrics: Dict[str, float],
+) -> None:
+    groups = set(spec.metrics)
+    if "workload" in groups:
+        metrics["load_ops"] = float(load_stats.issued)
+        metrics["load_success_rate"] = _r(load_stats.success_rate)
+        if txn_stats is not None:
+            metrics["txn_ops"] = float(txn_stats.issued)
+            metrics["txn_success_rate"] = _r(txn_stats.success_rate)
+            metrics["txn_throughput"] = _r(txn_stats.throughput)
+            for kind in sorted(txn_stats.latencies):
+                summary = txn_stats.latency_summary(kind)
+                metrics[f"latency_{kind}_p50"] = _r(summary["p50"])
+                metrics[f"latency_{kind}_p99"] = _r(summary["p99"])
+            metrics["txn_messages_per_node"] = _r(txn_stats.messages_per_node)
+    if "messages" in groups:
+        load = cluster.server_message_load()
+        metrics["messages_sent_per_node"] = _r(load["sent"])
+        metrics["messages_received_per_node"] = _r(load["received"])
+        metrics["messages_per_node"] = _r(load["handled"])
+    if "population" in groups:
+        metrics["population_alive"] = float(sum(1 for s in cluster.servers if s.alive))
+        metrics["population_total"] = float(len(cluster.servers))
+        metrics["churn_joins"] = float(controller.joins if controller else 0)
+        metrics["churn_leaves"] = float(controller.leaves if controller else 0)
+    if spec.stack == "core":
+        alive = [s for s in cluster.servers if s.alive]
+        if "slices" in groups and alive:
+            hist = slice_histogram(alive)
+            populated = [hist.get(i, 0) for i in range(cluster.config.num_slices)]
+            metrics["slices_total"] = float(cluster.config.num_slices)
+            metrics["slices_empty"] = float(sum(1 for c in populated if c == 0))
+            metrics["slice_population_min"] = float(min(populated))
+            metrics["slice_population_max"] = float(max(populated))
+            metrics["slice_unassigned_fraction"] = _r(unassigned_fraction(alive))
+        if "replication" in groups:
+            sample = [
+                workload.key_for(i)
+                for i in range(min(workload.record_count, REPLICATION_SAMPLE))
+            ]
+            levels = [cluster.replication_level(key) for key in sample]
+            metrics["replication_mean"] = _r(mean(levels))
+            metrics["replication_min"] = float(min(levels)) if levels else 0.0
+            metrics["replication_lost"] = float(sum(1 for l in levels if l == 0))
+
+
+def _r(value: float) -> float:
+    """Round for stable, readable summaries (determinism does not depend
+    on this, but 17-digit floats make tables unreadable)."""
+    return round(float(value), 6)

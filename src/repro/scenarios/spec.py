@@ -1,0 +1,352 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is a complete, serialisable description of one
+experiment: which stack to deploy (DATAFLASKS or the Chord baseline),
+how big, over what network, under what churn, driven by which workload,
+and which metric groups to collect. Specs round-trip through plain
+dicts, JSON and TOML, so experiments live in version-controlled files
+instead of ad-hoc benchmark wiring (the bundled ones are the ``*.toml``
+files next to this module; see :mod:`repro.scenarios.registry`).
+
+The spec layer only *describes*; :mod:`repro.scenarios.runner` executes.
+Every sub-spec knows how to build the runtime object it describes
+(latency model, churn model, workload), which keeps the mapping between
+file format and simulator in one place.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.churn.models import (
+    JOIN,
+    LEAVE,
+    ChurnEvent,
+    ChurnModel,
+    PoissonChurn,
+    SessionChurn,
+    TraceChurn,
+)
+from repro.errors import ConfigurationError
+from repro.sim.network import (
+    FixedLatency,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.workload.ycsb import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+    WORKLOAD_E,
+    WORKLOAD_F,
+    WRITE_ONLY,
+    CoreWorkload,
+)
+
+__all__ = [
+    "LatencySpec",
+    "ChurnSpec",
+    "WorkloadSpec",
+    "ScenarioSpec",
+    "WORKLOAD_PRESETS",
+    "load_spec",
+    "spec_from_dict",
+]
+
+WORKLOAD_PRESETS: Dict[str, CoreWorkload] = {
+    w.name: w
+    for w in (
+        WORKLOAD_A,
+        WORKLOAD_B,
+        WORKLOAD_C,
+        WORKLOAD_D,
+        WORKLOAD_E,
+        WORKLOAD_F,
+        WRITE_ONLY,
+    )
+}
+
+METRIC_GROUPS = ("workload", "messages", "population", "slices", "replication")
+
+
+@dataclass
+class LatencySpec:
+    """Network latency distribution.
+
+    ``kind`` selects the model: ``fixed`` (uses ``latency``), ``uniform``
+    (``low``/``high``) or ``lognormal`` (``median``/``sigma``/``cap``).
+    """
+
+    kind: str = "fixed"
+    latency: float = 0.01
+    low: float = 0.005
+    high: float = 0.05
+    median: float = 0.02
+    sigma: float = 0.5
+    cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("fixed", "uniform", "lognormal"):
+            raise ConfigurationError(f"unknown latency kind {self.kind!r}")
+
+    def build(self) -> LatencyModel:
+        if self.kind == "uniform":
+            return UniformLatency(self.low, self.high)
+        if self.kind == "lognormal":
+            return LogNormalLatency(self.median, self.sigma, self.cap)
+        return FixedLatency(self.latency)
+
+
+@dataclass
+class ChurnSpec:
+    """Membership-change schedule applied during the measurement phase.
+
+    ``start`` is seconds after the cluster is loaded and settled;
+    rate-based models generate events for ``duration`` seconds.
+
+    Kinds:
+
+    * ``poisson`` — independent join/leave arrivals (``join_rate``,
+      ``leave_rate``, per second),
+    * ``session`` — constant-population turnover with ``mean_session``
+      expected lifetime (effective rate scales with ``nodes``),
+    * ``correlated`` — kill ``fraction`` of the alive servers at one
+      instant (the paper's catastrophic rack/switch failure),
+    * ``flash_crowd`` — ``joins`` new nodes arriving over ``over``
+      seconds,
+    * ``trace`` — replay explicit ``events`` of ``[time, "join"|"leave"]``
+      pairs (times relative to ``start``).
+    """
+
+    kind: str = "poisson"
+    start: float = 0.0
+    duration: float = 30.0
+    join_rate: float = 0.0
+    leave_rate: float = 0.0
+    mean_session: float = 120.0
+    fraction: float = 0.0
+    joins: int = 0
+    over: float = 1.0
+    events: List[List[Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("poisson", "session", "correlated", "flash_crowd", "trace"):
+            raise ConfigurationError(f"unknown churn kind {self.kind!r}")
+        if self.start < 0 or self.duration < 0:
+            raise ConfigurationError("churn start/duration must be non-negative")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ConfigurationError("churn fraction must be in [0, 1]")
+        for event in self.events:
+            if len(event) != 2 or event[1] not in (JOIN, LEAVE):
+                raise ConfigurationError(f"malformed trace event {event!r}")
+
+    def build(self, population: int) -> Optional[ChurnModel]:
+        """The churn model for a deployment of ``population`` servers.
+
+        ``correlated`` returns ``None`` — a fractional mass failure needs
+        the live population at failure time, so the runner applies it
+        directly via :meth:`ChurnController.kill_fraction`.
+        """
+        if self.kind == "poisson":
+            return PoissonChurn(self.join_rate, self.leave_rate)
+        if self.kind == "session":
+            return SessionChurn(population, self.mean_session)
+        if self.kind == "flash_crowd":
+            step = self.over / max(1, self.joins)
+            return TraceChurn(ChurnEvent(i * step, JOIN) for i in range(self.joins))
+        if self.kind == "trace":
+            return TraceChurn(ChurnEvent(t, kind) for t, kind in self.events)
+        return None  # correlated
+
+    @property
+    def horizon(self) -> float:
+        """How long after ``start`` the model keeps emitting events."""
+        if self.kind == "correlated":
+            return 0.0
+        if self.kind == "flash_crowd":
+            return self.over
+        if self.kind == "trace":
+            return max((e[0] for e in self.events), default=0.0)
+        return self.duration
+
+
+@dataclass
+class WorkloadSpec:
+    """YCSB-style workload: a preset mix plus sizing overrides.
+
+    ``preset`` names one of the core workloads (``ycsb-a`` … ``ycsb-f``,
+    ``write-only``). The load phase inserts ``record_count`` items; the
+    transaction phase then issues ``operation_count`` requests from the
+    preset's mix (0 skips the phase, matching the paper's load-only
+    evaluation).
+    """
+
+    preset: str = "write-only"
+    record_count: int = 100
+    operation_count: int = 0
+    request_distribution: Optional[str] = None
+    value_size: Optional[int] = None
+    acks_required: int = 1
+    op_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.preset not in WORKLOAD_PRESETS:
+            raise ConfigurationError(
+                f"unknown workload preset {self.preset!r}; "
+                f"choose from {sorted(WORKLOAD_PRESETS)}"
+            )
+        if self.record_count <= 0 or self.operation_count < 0:
+            raise ConfigurationError("record_count must be positive, operation_count >= 0")
+
+    def build(self) -> CoreWorkload:
+        workload = WORKLOAD_PRESETS[self.preset].scaled(self.record_count)
+        overrides: Dict[str, Any] = {}
+        if self.request_distribution is not None:
+            overrides["request_distribution"] = self.request_distribution
+        if self.value_size is not None:
+            overrides["value_size"] = self.value_size
+        return replace(workload, **overrides) if overrides else workload
+
+
+@dataclass
+class ScenarioSpec:
+    """One complete experiment description.
+
+    Timeline executed by the runner::
+
+        deploy -> warmup -> convergence -> load phase -> settle
+               -> [advance churn.start; inject churn]
+               -> transaction phase -> cooldown -> collect metrics
+
+    :param stack: ``core`` (DATAFLASKS) or ``dht`` (Chord baseline).
+    :param nodes: server population at deployment.
+    :param num_slices: DATAFLASKS slice count ``k`` (ignored for dht).
+    :param replication: Chord replica count (ignored for core).
+    :param config: extra :class:`~repro.core.config.DataFlasksConfig`
+        field overrides, applied on top of the size-scaled defaults.
+    :param metrics: metric groups to collect; subset of
+        ``workload, messages, population, slices, replication``
+        (the last two are core-only and skipped for dht).
+    """
+
+    name: str
+    description: str = ""
+    stack: str = "core"
+    nodes: int = 50
+    num_slices: int = 5
+    replication: int = 3
+    seed: int = 0
+    loss_rate: float = 0.0
+    warmup: float = 10.0
+    convergence_timeout: float = 90.0
+    settle: float = 20.0
+    cooldown: float = 0.0
+    latency: LatencySpec = field(default_factory=LatencySpec)
+    churn: Optional[ChurnSpec] = None
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    config: Dict[str, Any] = field(default_factory=dict)
+    metrics: Tuple[str, ...] = ("workload", "messages", "population", "slices")
+
+    def __post_init__(self) -> None:
+        if self.stack not in ("core", "dht"):
+            raise ConfigurationError(f"unknown stack {self.stack!r}")
+        if self.nodes <= 0:
+            raise ConfigurationError("nodes must be positive")
+        if self.num_slices <= 0 or self.replication <= 0:
+            raise ConfigurationError("num_slices and replication must be positive")
+        self.metrics = tuple(self.metrics)
+        for group in self.metrics:
+            if group not in METRIC_GROUPS:
+                raise ConfigurationError(
+                    f"unknown metric group {group!r}; choose from {METRIC_GROUPS}"
+                )
+
+    # -------------------------------------------------------------- scaling
+
+    def scaled(self, **overrides: Any) -> "ScenarioSpec":
+        """An independent copy with top-level fields replaced — e.g. a
+        smoke-test-sized variant of a 5,000-node spec
+        (``spec.scaled(nodes=50)``). Sub-specs are copied too, so
+        mutating the result never touches the original (bundled specs
+        stay pristine across derived runs).
+
+        ``record_count`` / ``operation_count`` are routed to the workload
+        sub-spec for convenience.
+        """
+        workload_fields = {
+            k: overrides.pop(k)
+            for k in ("record_count", "operation_count")
+            if k in overrides
+        }
+        copies: Dict[str, Any] = {
+            "latency": replace(self.latency),
+            "workload": replace(self.workload, **workload_fields),
+            "config": dict(self.config),
+        }
+        if self.churn is not None:
+            copies["churn"] = replace(
+                self.churn, events=[list(e) for e in self.churn.events]
+            )
+        copies.update(overrides)
+        return replace(self, **copies)
+
+    # -------------------------------------------------------- serialisation
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-dict form that :func:`spec_from_dict` inverts exactly."""
+        data = asdict(self)
+        data["metrics"] = list(self.metrics)
+        if self.churn is None:
+            del data["churn"]
+        return data
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def _filter_kwargs(cls: type, data: Dict[str, Any], context: str) -> Dict[str, Any]:
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigurationError(f"unknown {context} fields: {sorted(unknown)}")
+    return data
+
+
+def spec_from_dict(data: Dict[str, Any]) -> ScenarioSpec:
+    """Build a :class:`ScenarioSpec` from its dict form (inverse of
+    :meth:`ScenarioSpec.to_dict`); unknown keys raise
+    :class:`~repro.errors.ConfigurationError` rather than being ignored."""
+    data = dict(data)
+    latency = data.pop("latency", None)
+    churn = data.pop("churn", None)
+    workload = data.pop("workload", None)
+    spec = ScenarioSpec(**_filter_kwargs(ScenarioSpec, data, "scenario"))
+    if latency is not None:
+        spec.latency = LatencySpec(**_filter_kwargs(LatencySpec, dict(latency), "latency"))
+    if churn is not None:
+        churn = dict(churn)
+        if "events" in churn:
+            churn["events"] = [list(e) for e in churn["events"]]
+        spec.churn = ChurnSpec(**_filter_kwargs(ChurnSpec, churn, "churn"))
+    if workload is not None:
+        spec.workload = WorkloadSpec(
+            **_filter_kwargs(WorkloadSpec, dict(workload), "workload")
+        )
+    return spec
+
+
+def load_spec(path: str) -> ScenarioSpec:
+    """Load a spec from a ``.toml`` or ``.json`` file."""
+    if path.endswith(".toml"):
+        import tomllib
+
+        with open(path, "rb") as f:
+            return spec_from_dict(tomllib.load(f))
+    if path.endswith(".json"):
+        with open(path, "r", encoding="utf-8") as f:
+            return spec_from_dict(json.load(f))
+    raise ConfigurationError(f"unsupported spec format: {path!r} (use .toml or .json)")

@@ -49,3 +49,67 @@ def test_check_command_healthy(capsys):
     assert main(["check", "--nodes", "25", "--slices", "3", "--keys", "4"]) == 0
     out = capsys.readouterr().out
     assert "healthy: True" in out
+
+
+SMALL_RUN = ["--nodes", "20", "--records", "5", "--ops", "8"]
+
+
+def test_scenarios_list(capsys):
+    assert main(["scenarios", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("baseline", "catastrophic-failure", "scale-5k"):
+        assert name in out
+
+
+def test_scenarios_run_table(capsys):
+    assert main(["scenarios", "run", "baseline", "--seed", "3"] + SMALL_RUN) == 0
+    out = capsys.readouterr().out
+    assert "scenario: baseline (seed 3)" in out
+    assert "load_success_rate" in out
+
+
+def test_scenarios_run_summary_deterministic(capsys):
+    argv = ["scenarios", "run", "baseline", "--seed", "3", "--summary"] + SMALL_RUN
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    assert '"seed": 3' in first
+
+
+def test_scenarios_run_custom_spec_file(tmp_path, capsys):
+    path = tmp_path / "mini.json"
+    path.write_text(
+        '{"name": "mini", "nodes": 15, "num_slices": 3, "warmup": 8.0,'
+        ' "settle": 5.0, "workload": {"record_count": 4}}'
+    )
+    assert main(["scenarios", "run", "--spec", str(path)]) == 0
+    assert "scenario: mini" in capsys.readouterr().out
+
+
+def test_scenarios_run_requires_name_or_spec():
+    with pytest.raises(SystemExit):
+        main(["scenarios", "run"])
+
+
+def test_scenarios_run_rejects_name_and_spec(tmp_path):
+    path = tmp_path / "mini.json"
+    path.write_text('{"name": "mini"}')
+    with pytest.raises(SystemExit, match="not both"):
+        main(["scenarios", "run", "baseline", "--spec", str(path)])
+
+
+def test_scenarios_unknown_name_reports_error(capsys):
+    assert main(["scenarios", "run", "no-such-thing"]) == 2
+    out = capsys.readouterr().out
+    assert "error:" in out and "no-such-thing" in out
+
+
+def test_scenarios_sweep(capsys):
+    argv = ["scenarios", "sweep", "baseline", "--seeds", "0", "1"] + SMALL_RUN
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "over seeds [0, 1]" in out
+    assert "load_success_rate" in out
+    assert "stdev" in out

@@ -1,0 +1,289 @@
+"""Tests for the scenario engine: spec round-trips, deterministic
+replay, sweep aggregation, and an end-to-end run of every bundled spec
+at small scale."""
+
+import json
+
+import pytest
+
+from repro.churn.models import JOIN, LEAVE, CorrelatedFailure, PoissonChurn, SessionChurn, TraceChurn
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    ChurnSpec,
+    LatencySpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    bundled_names,
+    load_all_bundled,
+    load_bundled,
+    load_spec,
+    run_scenario,
+    run_sweep,
+    spec_from_dict,
+)
+from repro.sim.network import FixedLatency, LogNormalLatency, UniformLatency
+
+EXPECTED_BUNDLED = {
+    "baseline",
+    "catastrophic-failure",
+    "dht-baseline",
+    "flash-crowd",
+    "heterogeneous-latency",
+    "scale-5k",
+    "skewed-ycsb",
+    "steady-churn",
+}
+
+# Overrides that make any bundled spec run in well under a second.
+SMALL = dict(
+    nodes=25,
+    warmup=8.0,
+    settle=6.0,
+    cooldown=0.0,
+    record_count=6,
+    operation_count=10,
+)
+
+
+def small_spec(name: str, **extra) -> ScenarioSpec:
+    spec = load_bundled(name)
+    overrides = dict(SMALL, **extra)
+    if spec.stack == "core":
+        overrides.setdefault("num_slices", 3)
+    spec = spec.scaled(**overrides)
+    if spec.churn is not None and spec.churn.kind == "flash_crowd":
+        spec.churn.joins = 8
+        spec.churn.over = 2.0
+    return spec
+
+
+# ------------------------------------------------------------------ specs
+
+
+class TestSpecValidation:
+    def test_unknown_stack_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="x", stack="cloud")
+
+    def test_unknown_latency_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencySpec(kind="quantum")
+
+    def test_unknown_churn_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChurnSpec(kind="meteor")
+
+    def test_unknown_workload_preset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(preset="ycsb-z")
+
+    def test_unknown_metric_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="x", metrics=("workload", "vibes"))
+
+    def test_unknown_dict_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spec_from_dict({"name": "x", "nodez": 10})
+
+    def test_malformed_trace_event_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChurnSpec(kind="trace", events=[[1.0, "explode"]])
+
+
+class TestSpecBuilders:
+    def test_latency_builders(self):
+        assert isinstance(LatencySpec(kind="fixed").build(), FixedLatency)
+        assert isinstance(LatencySpec(kind="uniform").build(), UniformLatency)
+        assert isinstance(LatencySpec(kind="lognormal").build(), LogNormalLatency)
+
+    def test_churn_builders(self):
+        assert isinstance(
+            ChurnSpec(kind="poisson", join_rate=1.0).build(10), PoissonChurn
+        )
+        assert isinstance(ChurnSpec(kind="session").build(10), SessionChurn)
+        assert isinstance(
+            ChurnSpec(kind="flash_crowd", joins=5).build(10), TraceChurn
+        )
+        assert isinstance(
+            ChurnSpec(kind="trace", events=[[0.5, JOIN], [1.0, LEAVE]]).build(10),
+            TraceChurn,
+        )
+        # Correlated failure is applied directly by the runner.
+        assert ChurnSpec(kind="correlated", fraction=0.3).build(10) is None
+
+    def test_flash_crowd_horizon_and_events(self):
+        spec = ChurnSpec(kind="flash_crowd", joins=4, over=2.0)
+        assert spec.horizon == 2.0
+        events = list(spec.build(10).events(None, horizon=10.0))
+        assert len(events) == 4
+        assert all(e.kind == JOIN for e in events)
+
+    def test_workload_build_applies_overrides(self):
+        workload = WorkloadSpec(
+            preset="ycsb-b", record_count=33, request_distribution="uniform", value_size=8
+        ).build()
+        assert workload.record_count == 33
+        assert workload.request_distribution == "uniform"
+        assert workload.value_size == 8
+
+    def test_scaled_routes_workload_fields(self):
+        spec = ScenarioSpec(name="x").scaled(nodes=7, record_count=3, operation_count=4)
+        assert spec.nodes == 7
+        assert spec.workload.record_count == 3
+        assert spec.workload.operation_count == 4
+
+    def test_scaled_copies_are_independent(self):
+        base = ScenarioSpec(
+            name="x",
+            churn=ChurnSpec(kind="correlated", fraction=0.3),
+            config={"view_size": 10},
+        )
+        derived = base.scaled(nodes=9)
+        derived.churn.fraction = 0.9
+        derived.workload.preset = "ycsb-c"
+        derived.latency.latency = 0.5
+        derived.config["view_size"] = 99
+        assert base.churn.fraction == 0.3
+        assert base.workload.preset == "write-only"
+        assert base.latency.latency == 0.01
+        assert base.config["view_size"] == 10
+
+
+class TestSpecRoundTrip:
+    def full_spec(self) -> ScenarioSpec:
+        return ScenarioSpec(
+            name="round-trip",
+            description="everything set",
+            stack="core",
+            nodes=40,
+            num_slices=4,
+            seed=9,
+            loss_rate=0.01,
+            latency=LatencySpec(kind="lognormal", median=0.05),
+            churn=ChurnSpec(kind="trace", events=[[1.0, JOIN], [2.0, LEAVE]], start=3.0),
+            workload=WorkloadSpec(preset="ycsb-f", record_count=12, operation_count=5),
+            config={"view_size": 15},
+            metrics=("workload", "messages"),
+        )
+
+    def test_dict_round_trip(self):
+        spec = self.full_spec()
+        assert spec_from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = self.full_spec()
+        assert spec_from_dict(json.loads(spec.to_json())) == spec
+
+    def test_json_file_round_trip(self, tmp_path):
+        spec = self.full_spec()
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        assert load_spec(str(path)) == spec
+
+    def test_toml_file_loads(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    'name = "from-toml"',
+                    "nodes = 30",
+                    "[churn]",
+                    'kind = "correlated"',
+                    "fraction = 0.5",
+                    "[workload]",
+                    'preset = "ycsb-c"',
+                ]
+            )
+        )
+        spec = load_spec(str(path))
+        assert spec.name == "from-toml"
+        assert spec.nodes == 30
+        assert spec.churn.kind == "correlated"
+        assert spec.workload.preset == "ycsb-c"
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_spec(str(tmp_path / "spec.yaml"))
+
+
+# --------------------------------------------------------------- registry
+
+
+class TestRegistry:
+    def test_bundled_catalogue(self):
+        assert set(bundled_names()) == EXPECTED_BUNDLED
+
+    def test_bundled_specs_parse_and_match_names(self):
+        for name, spec in load_all_bundled().items():
+            assert spec.name == name
+            assert spec.description
+
+    def test_unknown_bundled_name(self):
+        with pytest.raises(ConfigurationError):
+            load_bundled("no-such-scenario")
+
+
+# ----------------------------------------------------------------- runner
+
+
+class TestRunner:
+    def test_same_seed_byte_identical(self):
+        spec = small_spec("baseline")
+        first = run_scenario(spec, seed=5)
+        second = run_scenario(spec, seed=5)
+        assert first.summary_json() == second.summary_json()
+
+    def test_different_seeds_differ(self):
+        spec = small_spec("baseline")
+        assert (
+            run_scenario(spec, seed=1).metrics != run_scenario(spec, seed=2).metrics
+        )
+
+    def test_seed_defaults_to_spec(self):
+        spec = small_spec("baseline", seed=11)
+        assert run_scenario(spec).seed == 11
+
+    def test_sweep_aggregates(self):
+        spec = small_spec("baseline")
+        sweep = run_sweep(spec, seeds=[0, 1, 2])
+        assert sweep.seeds == [0, 1, 2]
+        assert len(sweep.results) == 3
+        stats = sweep.aggregate["load_success_rate"]
+        assert stats["n"] == 3
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+        # Deterministic per-seed metrics aggregate deterministically.
+        again = run_sweep(spec, seeds=[0, 1, 2])
+        assert again.aggregate == sweep.aggregate
+
+    def test_sweep_rows_include_seed(self):
+        spec = small_spec("baseline")
+        rows = run_sweep(spec, seeds=[3, 4]).rows()
+        assert [row["seed"] for row in rows] == [3, 4]
+
+    def test_correlated_failure_kills_fraction(self):
+        spec = small_spec("catastrophic-failure")
+        result = run_scenario(spec, seed=2)
+        expected_alive = spec.nodes - int(spec.nodes * spec.churn.fraction)
+        assert result.metrics["population_alive"] == expected_alive
+        assert result.metrics["churn_leaves"] == spec.nodes - expected_alive
+
+    def test_flash_crowd_grows_population(self):
+        spec = small_spec("flash-crowd", cooldown=5.0)
+        result = run_scenario(spec, seed=2)
+        assert result.metrics["churn_joins"] == spec.churn.joins
+        assert (
+            result.metrics["population_total"]
+            == spec.nodes + spec.churn.joins
+        )
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_BUNDLED))
+def test_every_bundled_spec_runs_small(name):
+    result = run_scenario(small_spec(name), seed=1)
+    metrics = result.metrics
+    assert result.scenario == name
+    assert metrics["converged"] == 1.0
+    assert metrics["load_success_rate"] == 1.0
+    assert metrics["txn_success_rate"] >= 0.8
+    assert metrics["population_alive"] > 0
+    assert metrics["messages_per_node"] > 0
