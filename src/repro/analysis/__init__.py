@@ -4,10 +4,13 @@
   Figure 3 / Figure 4 benches
 * :mod:`repro.analysis.aggregate` — cross-seed aggregation for scenario
   sweeps
+* :mod:`repro.analysis.consistency` — acked-vs-retained write-loss
+  accounting for fault scenarios
 * :mod:`repro.analysis.tables` — ASCII tables/series for bench output
 """
 
 from repro.analysis.aggregate import aggregate_rows, aggregate_table_rows
+from repro.analysis.consistency import count_write_losses
 from repro.analysis.health import ConsistencyReport, check_cluster, missing_objects
 from repro.analysis.experiments import (
     default_node_counts,
@@ -23,6 +26,7 @@ __all__ = [
     "aggregate_rows",
     "aggregate_table_rows",
     "check_cluster",
+    "count_write_losses",
     "missing_objects",
     "default_node_counts",
     "format_series",

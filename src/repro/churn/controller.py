@@ -4,7 +4,10 @@ The :class:`ChurnController` schedules a model's events on the simulation
 clock. Leaves crash a random alive node (or the one the event names);
 joins build a fresh node with the deployment's node factory and bootstrap
 its Peer Sampling Service from a few random alive contacts — exactly how
-a real node would join via a tracker.
+a real node would join via a tracker. :meth:`ChurnController.recover`
+implements crash-*recover* churn: the crashed node restarts in place with
+its retained Data Store and protocol state, rather than joining fresh —
+the path the fault-injection subsystem (:mod:`repro.faults`) drives.
 """
 
 from __future__ import annotations
@@ -50,6 +53,7 @@ class ChurnController:
         self.eligible = eligible if eligible is not None else sim.alive_nodes
         self.joins = 0
         self.leaves = 0
+        self.recoveries = 0
 
     def _population(self) -> List[Node]:
         return sorted((n for n in self.eligible() if n.alive), key=lambda n: n.id)
@@ -94,6 +98,31 @@ class ChurnController:
                 pss.bootstrap([c.id for c in contacts])
         if self.on_join is not None:
             self.on_join(node)
+        return node
+
+    def recover(self, node_id: int) -> Optional[Node]:
+        """Restart a crashed node in place — crash-*recover* churn.
+
+        Unlike :meth:`join`, the node rejoins with its retained Data
+        Store and protocol state (its store survived the crash; only
+        volatile timers and network registration are rebuilt). The PSS
+        is re-bootstrapped from a few alive contacts, modelling the
+        tracker-assisted reconnect of a rebooting machine whose cached
+        view may be entirely stale.
+
+        Returns the node, or ``None`` if it is unknown or already alive.
+        """
+        node = self.sim.nodes.get(node_id)
+        if node is None or node.alive:
+            return None
+        contacts = self._population()
+        node.start()
+        self.recoveries += 1
+        if contacts:
+            sample = self.rng.sample(contacts, min(self.bootstrap_degree, len(contacts)))
+            pss = node.get_service(PeerSamplingService)
+            if pss is not None:
+                pss.bootstrap([c.id for c in sample])
         return node
 
     # ----------------------------------------------------------- schedule

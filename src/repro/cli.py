@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro scenarios list       # bundled scenario catalogue
     python -m repro scenarios run catastrophic-failure --seed 7
     python -m repro scenarios sweep baseline --seeds 0 1 2
+    python -m repro scenarios validate my-spec.toml  # check without running
 
 Each subcommand prints the same tables the benches emit, so the CLI is
 the quickest way to eyeball a result before running the full pytest
@@ -90,6 +91,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_selection(sweep)
     sweep.add_argument(
         "--seeds", type=int, nargs="+", default=[0, 1, 2], help="seeds to run"
+    )
+
+    validate = action.add_parser(
+        "validate",
+        help="check a .toml/.json spec (including its [faults] schedule) "
+        "without running it",
+    )
+    validate.add_argument(
+        "spec",
+        help="path to a spec file, or a bundled scenario name",
     )
 
     return parser
@@ -217,6 +228,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
                 "stack": spec.stack,
                 "nodes": spec.nodes,
                 "churn": spec.churn.kind if spec.churn else "-",
+                "faults": ",".join(f.kind for f in spec.faults) or "-",
                 "workload": spec.workload.preset,
                 "description": spec.description,
             }
@@ -224,10 +236,14 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         ]
         print(
             rows_to_table(
-                rows, ["name", "stack", "nodes", "churn", "workload", "description"]
+                rows,
+                ["name", "stack", "nodes", "churn", "faults", "workload", "description"],
             )
         )
         return 0
+
+    if args.action == "validate":
+        return _validate_spec(args.spec)
 
     spec = _resolve_spec(args)
     if args.action == "run":
@@ -252,6 +268,51 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             ["metric", "mean", "stdev", "min", "max", "n"],
         )
     )
+    return 0
+
+
+def _validate_spec(target: str) -> int:
+    """Check a spec file (or bundled name) without running it: parse it,
+    then build every runtime object it describes — latency model, churn
+    model, workload, and the full ``[faults]`` injector schedule."""
+    try:
+        if target.endswith((".toml", ".json")):
+            spec = load_spec(target)
+        else:
+            spec = load_bundled(target)
+        spec.latency.build()
+        if spec.churn is not None:
+            spec.churn.build(population=spec.nodes)
+        spec.workload.build()
+        injectors = [f.build() for f in spec.faults]
+    except OSError as exc:
+        print(f"error: cannot read spec: {exc}")
+        return 2
+    except (ConfigurationError, ValueError) as exc:
+        # ValueError covers TOML/JSON decode errors; ConfigurationError
+        # covers every semantic check the sub-specs run on construction.
+        print(f"error: invalid spec: {exc}")
+        return 2
+    print(f"spec OK: {spec.name} ({spec.stack}, {spec.nodes} nodes, seed {spec.seed})")
+    print(
+        f"  workload: {spec.workload.preset} "
+        f"(load {spec.workload.record_count}, txn {spec.workload.operation_count})"
+    )
+    print(f"  churn: {spec.churn.kind if spec.churn else '-'}")
+    print(f"  metrics: {', '.join(spec.metrics)}")
+    if injectors:
+        rows = [
+            {
+                "kind": f.kind,
+                "start": f.start,
+                "heals_at": "-" if not f.needs_heal else f.end,
+            }
+            for f in injectors
+        ]
+        print("  faults:")
+        print(rows_to_table(rows, ["kind", "start", "heals_at"]))
+    else:
+        print("  faults: none")
     return 0
 
 

@@ -1,0 +1,101 @@
+"""Declarative fault schedules for scenario specs.
+
+A :class:`FaultSpec` is one entry of a scenario's ``[[faults]]`` array:
+what kind of fault, when it starts (seconds after the fault phase
+begins, i.e. after load + settle), how long it lasts, and who it hits.
+``build()`` maps it onto the runtime injector from
+:mod:`repro.faults.injectors`; parsing/serialisation follows the same
+dataclass round-trip conventions as the rest of
+:mod:`repro.scenarios.spec`.
+
+Kinds:
+
+* ``partition`` — isolate ``fraction`` of the servers (or explicit
+  ``groups``) for ``duration`` seconds; ``symmetric = false`` makes the
+  cut one-way (the isolated side cannot send out),
+* ``degrade`` — give ``fraction`` of the servers (or explicit ``nodes``)
+  lossy/slow links: extra drop chance ``loss`` and/or ``extra_latency``
+  seconds per message,
+* ``burst_loss`` — raise global message loss by ``loss`` for the window,
+* ``crash_recover`` — crash ``fraction`` of the servers (or explicit
+  ``nodes``) at ``start``; they restart in place, stores retained, at
+  ``start + duration``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.faults.injectors import (
+    BurstLossFault,
+    CrashRecoverFault,
+    DegradeFault,
+    FaultInjector,
+    PartitionFault,
+)
+
+__all__ = ["FAULT_KINDS", "FaultSpec"]
+
+FAULT_KINDS = ("partition", "degrade", "burst_loss", "crash_recover")
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled fault in a scenario's ``[[faults]]`` schedule."""
+
+    kind: str
+    start: float = 0.0
+    duration: float = 10.0
+    fraction: float = 0.25
+    symmetric: bool = True
+    loss: float = 0.0
+    extra_latency: float = 0.0
+    nodes: List[int] = field(default_factory=list)
+    groups: List[List[int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if self.start < 0:
+            raise ConfigurationError("fault start must be non-negative")
+        if self.duration <= 0:
+            raise ConfigurationError("fault duration must be positive")
+        # Kind-specific constraints surface at spec time, not run time:
+        # validation (and `repro scenarios validate`) just builds.
+        self.build()
+
+    def build(self) -> FaultInjector:
+        """The runtime injector this entry describes."""
+        if self.kind == "partition":
+            return PartitionFault(
+                start=self.start,
+                duration=self.duration,
+                fraction=self.fraction,
+                groups=self.groups or None,
+                symmetric=self.symmetric,
+            )
+        if self.kind == "degrade":
+            return DegradeFault(
+                start=self.start,
+                duration=self.duration,
+                fraction=self.fraction,
+                nodes=self.nodes or None,
+                loss=self.loss,
+                extra_latency=self.extra_latency,
+            )
+        if self.kind == "burst_loss":
+            return BurstLossFault(start=self.start, duration=self.duration, loss=self.loss)
+        return CrashRecoverFault(
+            start=self.start,
+            duration=self.duration,
+            fraction=self.fraction,
+            nodes=self.nodes or None,
+        )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration

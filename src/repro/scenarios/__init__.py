@@ -29,6 +29,7 @@ from repro.scenarios.runner import (
 )
 from repro.scenarios.spec import (
     ChurnSpec,
+    FaultSpec,
     LatencySpec,
     ScenarioSpec,
     WorkloadSpec,
@@ -39,6 +40,7 @@ from repro.scenarios.spec import (
 __all__ = [
     "SPEC_DIR",
     "ChurnSpec",
+    "FaultSpec",
     "LatencySpec",
     "ScenarioResult",
     "ScenarioSpec",

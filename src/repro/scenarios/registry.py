@@ -16,6 +16,10 @@ Bundled set (see each file's ``description`` for the full story):
 ``heterogeneous-latency`` lognormal WAN latency plus message loss
 ``dht-baseline``          the Chord stack under the catastrophic failure
 ``scale-5k``              the paper-scale 5,000-node write-only run
+``asymmetric-partition``  a one-way partition isolates 30% mid-run, then heals
+``slow-quartile``         a quarter of the servers get slow, lossy links
+``crash-recover-wave``    30% crash and later restart with retained stores
+``burst-loss``            a 60%-loss window hits every link at once
 ========================  ====================================================
 """
 

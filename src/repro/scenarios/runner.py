@@ -4,9 +4,15 @@
 into one simulated experiment and returns a :class:`ScenarioResult`
 whose metrics are a flat, sorted ``name -> float`` mapping. Everything
 random flows from the simulation's seeded RNG registry plus the workload
-runner's derived seed, so two runs of the same spec and seed produce
-*byte-identical* summaries (:meth:`ScenarioResult.summary_json`) — the
-reproducibility contract the CLI and tests assert.
+runner's derived seed — including the nemesis fault schedule, whose
+victims come from the dedicated ``faults`` stream — so two runs of the
+same spec and seed produce *byte-identical* summaries
+(:meth:`ScenarioResult.summary_json`), the reproducibility contract the
+CLI and tests assert.
+
+Timeline: deploy -> warmup/convergence -> load -> settle -> arm the
+nemesis schedule and churn -> transaction phase (kept running until the
+last fault heals) -> time-to-heal measurement -> cooldown -> collect.
 
 :func:`run_sweep` repeats a spec over several seeds and aggregates the
 per-seed metrics through :func:`repro.analysis.aggregate.aggregate_rows`.
@@ -16,13 +22,15 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.aggregate import aggregate_rows
+from repro.analysis.consistency import count_write_losses
 from repro.churn.controller import ChurnController
 from repro.core.cluster import DataFlasksCluster
 from repro.core.config import DataFlasksConfig
 from repro.dht.cluster import DhtCluster
+from repro.faults.nemesis import Nemesis
 from repro.scenarios.spec import ScenarioSpec
 from repro.sim.metrics import mean
 from repro.sim.simulator import Simulation
@@ -36,6 +44,9 @@ Cluster = Union[DataFlasksCluster, DhtCluster]
 # How many of the loaded keys the replication metric samples; sweeping
 # every key on a 5k-node run would dominate the collection cost.
 REPLICATION_SAMPLE = 25
+
+# Key-sample cap for the acked-vs-retained write-loss audit.
+CONSISTENCY_SAMPLE = 200
 
 
 @dataclass
@@ -93,7 +104,7 @@ def run_scenario(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResu
     load_stats = runner.run_load_phase()
     sim.run_for(spec.settle)
 
-    controller = _inject_churn(spec, cluster)
+    controller, nemesis, probe = _inject_faults_and_churn(spec, cluster)
 
     txn_stats: Optional[RunStats] = None
     if spec.workload.operation_count > 0:
@@ -102,9 +113,14 @@ def run_scenario(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResu
         # No transaction phase: still play the churn schedule out so its
         # effects are visible in the population/replication metrics.
         sim.run_for(spec.churn.horizon)
+    if nemesis is not None and sim.now < nemesis.end_time:
+        # The transaction phase ended before the fault schedule did:
+        # keep running so every scheduled heal fires.
+        sim.run_until(nemesis.end_time)
+    _measure_heal(spec, cluster, probe, metrics)
     sim.run_for(spec.cooldown)
 
-    _collect(spec, cluster, controller, load_stats, txn_stats, workload, metrics)
+    _collect(spec, cluster, controller, nemesis, runner, load_stats, txn_stats, workload, metrics)
     metrics["population_before_churn"] = float(cluster_size_before)
     metrics["sim_time"] = _r(sim.now)
     metrics["events_processed"] = float(sim.scheduler.events_processed)
@@ -140,23 +156,108 @@ def _converge(spec: ScenarioSpec, cluster: Cluster) -> bool:
     return cluster.wait_for_slices(timeout=spec.convergence_timeout)
 
 
-def _inject_churn(spec: ScenarioSpec, cluster: Cluster) -> Optional[ChurnController]:
-    if spec.churn is None:
-        return None
-    cluster.sim.run_for(spec.churn.start)
+class _HealProbe:
+    """Measures time-to-heal convergence *as it happens*: armed by the
+    nemesis at every heal, it polls the overlay-is-whole predicate on
+    the scheduler, so the measurement runs concurrently with the
+    transaction phase instead of starting after the workload ends (which
+    would inflate heal_time by the remaining workload runtime)."""
+
+    def __init__(self, cluster: Cluster, interval: float = 0.5) -> None:
+        self.sim = cluster.sim
+        self.predicate = _converged_predicate(cluster)
+        self.interval = interval
+        self.anchor: Optional[float] = None
+        self.heal_time: Optional[float] = None
+        self._polling = False
+
+    def arm(self) -> None:
+        """Restart the measurement from now (a later heal supersedes)."""
+        self.anchor = self.sim.now
+        self.heal_time = None
+        if not self._polling:
+            self._polling = True
+            self.sim.scheduler.schedule(0.0, self._check)
+
+    def _check(self) -> None:
+        if self.predicate():
+            self.heal_time = self.sim.now - self.anchor
+            self._polling = False
+        else:
+            self.sim.scheduler.schedule(self.interval, self._check)
+
+
+def _converged_predicate(cluster: Cluster):
+    """'The overlay looks whole again': consistent ring for the DHT
+    stack, every slice populated and every node placed for core."""
+    if isinstance(cluster, DhtCluster):
+        return cluster.ring_is_consistent
+
+    def converged() -> bool:
+        alive = [s for s in cluster.servers if s.alive]
+        if not alive or unassigned_fraction(alive) > 0:
+            return False
+        hist = slice_histogram(alive)
+        return all(hist.get(i, 0) > 0 for i in range(cluster.config.num_slices))
+
+    return converged
+
+
+def _inject_faults_and_churn(
+    spec: ScenarioSpec, cluster: Cluster
+) -> Tuple[Optional[ChurnController], Optional[Nemesis], Optional[_HealProbe]]:
+    """Arm the fault phase: one shared controller feeds both the nemesis
+    schedule and spec-level churn, so fault-driven crashes/recoveries and
+    churn land in the same join/leave accounting."""
+    if spec.churn is None and not spec.faults:
+        return None, None, None
     controller = cluster.churn_controller()
-    if spec.churn.kind == "correlated":
-        controller.kill_fraction(spec.churn.fraction)
-    else:
-        model = spec.churn.build(population=spec.nodes)
-        controller.apply(model, horizon=spec.churn.horizon)
-    return controller
+    nemesis: Optional[Nemesis] = None
+    probe: Optional[_HealProbe] = None
+    if spec.faults:
+        nemesis = Nemesis(cluster.sim, cluster=cluster, controller=controller)
+        if "consistency" in spec.metrics:
+            probe = _HealProbe(cluster)
+            nemesis.on_heal = probe.arm
+        nemesis.schedule([f.build() for f in spec.faults])
+    if spec.churn is not None:
+        cluster.sim.run_for(spec.churn.start)
+        if spec.churn.kind == "correlated":
+            controller.kill_fraction(spec.churn.fraction)
+        else:
+            model = spec.churn.build(population=spec.nodes)
+            controller.apply(model, horizon=spec.churn.horizon)
+    return controller, nemesis, probe
+
+
+def _measure_heal(
+    spec: ScenarioSpec,
+    cluster: Cluster,
+    probe: Optional[_HealProbe],
+    metrics: Dict[str, float],
+) -> None:
+    """Report the probe's time-to-heal, running on past the workload if
+    the overlay has not reconverged by the time the schedule ends."""
+    if probe is None or probe.anchor is None:
+        return
+    sim = cluster.sim
+    if probe.heal_time is None:
+        sim.run_until_condition(
+            lambda: probe.heal_time is not None, timeout=spec.convergence_timeout
+        )
+    converged = probe.heal_time is not None
+    metrics["heal_converged"] = float(converged)
+    metrics["heal_time"] = _r(
+        probe.heal_time if converged else sim.now - probe.anchor
+    )
 
 
 def _collect(
     spec: ScenarioSpec,
     cluster: Cluster,
     controller: Optional[ChurnController],
+    nemesis: Optional[Nemesis],
+    runner: WorkloadRunner,
     load_stats: RunStats,
     txn_stats: Optional[RunStats],
     workload,
@@ -185,6 +286,22 @@ def _collect(
         metrics["population_total"] = float(len(cluster.servers))
         metrics["churn_joins"] = float(controller.joins if controller else 0)
         metrics["churn_leaves"] = float(controller.leaves if controller else 0)
+        metrics["churn_recoveries"] = float(controller.recoveries if controller else 0)
+    if "consistency" in groups:
+        stale = load_stats.stale_reads + (txn_stats.stale_reads if txn_stats else 0)
+        metrics["stale_reads"] = float(stale)
+        avail = runner.availability.summary(now=cluster.sim.now)
+        metrics["unavail_keys"] = avail["keys"]
+        metrics["unavail_windows"] = avail["windows"]
+        metrics["unavail_window_mean"] = _r(avail["mean"])
+        metrics["unavail_window_max"] = _r(avail["max"])
+        losses = count_write_losses(
+            cluster, runner.acked_versions, sample=CONSISTENCY_SAMPLE
+        )
+        metrics["lost_updates"] = losses["lost_updates"]
+        metrics["lost_objects"] = losses["lost_objects"]
+        metrics["faults_injected"] = float(nemesis.injected if nemesis else 0)
+        metrics["faults_healed"] = float(nemesis.healed if nemesis else 0)
     if spec.stack == "core":
         alive = [s for s in cluster.servers if s.alive]
         if "slices" in groups and alive:

@@ -2,8 +2,9 @@
 
 A :class:`ScenarioSpec` is a complete, serialisable description of one
 experiment: which stack to deploy (DATAFLASKS or the Chord baseline),
-how big, over what network, under what churn, driven by which workload,
-and which metric groups to collect. Specs round-trip through plain
+how big, over what network, under what churn and fault schedule
+(``[[faults]]`` — see :mod:`repro.faults.spec`), driven by which
+workload, and which metric groups to collect. Specs round-trip through plain
 dicts, JSON and TOML, so experiments live in version-controlled files
 instead of ad-hoc benchmark wiring (the bundled ones are the ``*.toml``
 files next to this module; see :mod:`repro.scenarios.registry`).
@@ -30,6 +31,7 @@ from repro.churn.models import (
     TraceChurn,
 )
 from repro.errors import ConfigurationError
+from repro.faults.spec import FaultSpec
 from repro.sim.network import (
     FixedLatency,
     LatencyModel,
@@ -50,6 +52,7 @@ from repro.workload.ycsb import (
 __all__ = [
     "LatencySpec",
     "ChurnSpec",
+    "FaultSpec",
     "WorkloadSpec",
     "ScenarioSpec",
     "WORKLOAD_PRESETS",
@@ -70,7 +73,14 @@ WORKLOAD_PRESETS: Dict[str, CoreWorkload] = {
     )
 }
 
-METRIC_GROUPS = ("workload", "messages", "population", "slices", "replication")
+METRIC_GROUPS = (
+    "workload",
+    "messages",
+    "population",
+    "slices",
+    "replication",
+    "consistency",
+)
 
 
 @dataclass
@@ -228,9 +238,16 @@ class ScenarioSpec:
     :param replication: Chord replica count (ignored for core).
     :param config: extra :class:`~repro.core.config.DataFlasksConfig`
         field overrides, applied on top of the size-scaled defaults.
+    :param faults: the ``[[faults]]`` nemesis schedule; each entry's
+        ``start`` is relative to the beginning of the fault phase (right
+        after load + settle, the same instant churn injection anchors
+        to). The runner keeps the simulation running until the last
+        fault has healed, even when the transaction phase ends earlier.
     :param metrics: metric groups to collect; subset of
-        ``workload, messages, population, slices, replication``
-        (the last two are core-only and skipped for dht).
+        ``workload, messages, population, slices, replication,
+        consistency`` (slices/replication are core-only and skipped for
+        dht; consistency adds the stale-read / lost-update /
+        unavailability-window / time-to-heal accounting).
     """
 
     name: str
@@ -247,6 +264,7 @@ class ScenarioSpec:
     cooldown: float = 0.0
     latency: LatencySpec = field(default_factory=LatencySpec)
     churn: Optional[ChurnSpec] = None
+    faults: List[FaultSpec] = field(default_factory=list)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     config: Dict[str, Any] = field(default_factory=dict)
     metrics: Tuple[str, ...] = ("workload", "messages", "population", "slices")
@@ -286,6 +304,10 @@ class ScenarioSpec:
             "latency": replace(self.latency),
             "workload": replace(self.workload, **workload_fields),
             "config": dict(self.config),
+            "faults": [
+                replace(f, nodes=list(f.nodes), groups=[list(g) for g in f.groups])
+                for f in self.faults
+            ],
         }
         if self.churn is not None:
             copies["churn"] = replace(
@@ -302,6 +324,8 @@ class ScenarioSpec:
         data["metrics"] = list(self.metrics)
         if self.churn is None:
             del data["churn"]
+        if not self.faults:
+            del data["faults"]
         return data
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -323,6 +347,7 @@ def spec_from_dict(data: Dict[str, Any]) -> ScenarioSpec:
     data = dict(data)
     latency = data.pop("latency", None)
     churn = data.pop("churn", None)
+    faults = data.pop("faults", None)
     workload = data.pop("workload", None)
     spec = ScenarioSpec(**_filter_kwargs(ScenarioSpec, data, "scenario"))
     if latency is not None:
@@ -332,6 +357,15 @@ def spec_from_dict(data: Dict[str, Any]) -> ScenarioSpec:
         if "events" in churn:
             churn["events"] = [list(e) for e in churn["events"]]
         spec.churn = ChurnSpec(**_filter_kwargs(ChurnSpec, churn, "churn"))
+    if faults is not None:
+        spec.faults = []
+        for entry in faults:
+            entry = dict(entry)
+            if "nodes" in entry:
+                entry["nodes"] = list(entry["nodes"])
+            if "groups" in entry:
+                entry["groups"] = [list(g) for g in entry["groups"]]
+            spec.faults.append(FaultSpec(**_filter_kwargs(FaultSpec, entry, "fault")))
     if workload is not None:
         spec.workload = WorkloadSpec(
             **_filter_kwargs(WorkloadSpec, dict(workload), "workload")

@@ -10,7 +10,14 @@ Public surface:
 * :class:`~repro.sim.rng.RngRegistry` — named seeded RNG streams
 """
 
-from repro.sim.metrics import Histogram, MetricsRegistry, mean, percentile, stdev
+from repro.sim.metrics import (
+    AvailabilityTracker,
+    Histogram,
+    MetricsRegistry,
+    mean,
+    percentile,
+    stdev,
+)
 from repro.sim.network import (
     FixedLatency,
     LatencyModel,
@@ -24,6 +31,7 @@ from repro.sim.scheduler import Event, Scheduler
 from repro.sim.simulator import Simulation
 
 __all__ = [
+    "AvailabilityTracker",
     "Event",
     "FixedLatency",
     "Histogram",

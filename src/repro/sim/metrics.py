@@ -16,7 +16,14 @@ import math
 from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["MetricsRegistry", "Histogram", "percentile", "mean", "stdev"]
+__all__ = [
+    "AvailabilityTracker",
+    "MetricsRegistry",
+    "Histogram",
+    "percentile",
+    "mean",
+    "stdev",
+]
 
 
 def mean(values: Iterable[float]) -> float:
@@ -90,6 +97,51 @@ class Histogram:
             "max": max(self._samples),
             "p50": self.percentile(50),
             "p99": self.percentile(99),
+        }
+
+
+class AvailabilityTracker:
+    """Per-key unavailability windows, the availability metric the fault
+    scenarios report.
+
+    Feed every read probe outcome through :meth:`record`. A key's
+    unavailability window opens at its first failed read and closes at
+    the next successful one; :meth:`summary` treats still-open windows as
+    extending to ``now`` without mutating state, so it can be called at
+    any point (and repeatedly) during a run.
+    """
+
+    def __init__(self) -> None:
+        self._open: Dict[str, float] = {}
+        self._closed: List[Tuple[str, float, float]] = []
+
+    def record(self, key: str, time: float, ok: bool) -> None:
+        """Account one read of ``key`` at virtual ``time``."""
+        if ok:
+            start = self._open.pop(key, None)
+            if start is not None:
+                self._closed.append((key, start, time))
+        elif key not in self._open:
+            self._open[key] = time
+
+    @property
+    def closed_windows(self) -> List[Tuple[str, float, float]]:
+        """``(key, start, end)`` windows that have already healed."""
+        return list(self._closed)
+
+    def summary(self, now: float) -> Dict[str, float]:
+        """Window count, distinct keys affected, and duration stats.
+
+        Open windows are counted as lasting until ``now``.
+        """
+        windows = self._closed + [(key, start, now) for key, start in self._open.items()]
+        durations = [end - start for _, start, end in windows]
+        return {
+            "windows": float(len(windows)),
+            "keys": float(len({key for key, _, _ in windows})),
+            "total": sum(durations),
+            "mean": mean(durations),
+            "max": max(durations) if durations else 0.0,
         }
 
 

@@ -5,21 +5,36 @@ random loss and network partitions. Every send/delivery is accounted in
 the :class:`~repro.sim.metrics.MetricsRegistry`, both globally
 (``msg.sent`` / ``msg.received``) and per message type
 (``msg.sent.<Type>``), because per-node message load is the metric the
-paper's evaluation reports.
+paper's evaluation reports. Drops are likewise accounted per cause and
+per message type (``msg.dropped.partition.<Type>`` /
+``msg.dropped.loss.<Type>``).
 
 Semantics (matching the fault model of epidemic protocols):
 
 * messages to dead or unknown nodes are silently dropped (gossip protocols
   must tolerate this; there is no connection abstraction),
-* loss is Bernoulli per message,
-* a partition divides nodes into groups; cross-group messages are dropped,
-* latency is drawn per message from a pluggable :class:`LatencyModel`.
+* loss is Bernoulli per message; the effective per-message loss combines
+  the global ``loss_rate`` with any burst-loss window and per-node /
+  per-link overrides as independent drop chances
+  (``1 - prod(1 - p_i)``),
+* a partition divides nodes into groups; cross-group messages are
+  dropped. Directed :meth:`block` rules additionally express *partial*
+  and *asymmetric* partitions (A cannot reach B while B still reaches A),
+* latency is drawn per message from a pluggable :class:`LatencyModel`,
+  plus any per-node / per-link extra latency ("slow node" conditions).
+
+Determinism: loss is sampled from the network's dedicated RNG stream
+(``rng_registry.stream("network")`` — seeded from the scenario's master
+seed), **never** from the global :mod:`random` module state, so fault
+schedules replay byte-identically for a given spec + seed. The per-link
+condition tables are plain dicts keyed by node id, mutated only through
+the methods below; iteration order never influences behaviour.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.sim.metrics import MetricsRegistry
@@ -32,6 +47,9 @@ __all__ = [
     "LogNormalLatency",
     "Network",
 ]
+
+# Shared "no degradation" entry so condition lookups never allocate.
+_NO_CONDITIONS = (0.0, 0.0)
 
 
 class LatencyModel:
@@ -111,6 +129,18 @@ class Network:
         self._delivery: Dict[int, Callable[[Any, int], None]] = {}
         self._group_of: Dict[int, int] = {}
         self._partitioned = False
+        # Directed blackhole rules: rule id -> (src set, dst set).
+        self._blocks: Dict[int, Tuple[FrozenSet[int], FrozenSet[int]]] = {}
+        self._next_block_id = 0
+        # Per-node / per-directed-link degradation: id -> (loss, extra latency).
+        self._node_conditions: Dict[int, Tuple[float, float]] = {}
+        self._link_conditions: Dict[Tuple[int, int], Tuple[float, float]] = {}
+        # Token-based layers, so overlapping faults compose instead of
+        # clobbering each other: token -> (node set, loss, extra latency)
+        # and token -> burst rate.
+        self._condition_layers: Dict[int, Tuple[FrozenSet[int], float, float]] = {}
+        self._burst_layers: Dict[int, float] = {}
+        self._next_token = 0
 
     # ---------------------------------------------------------- membership
 
@@ -143,15 +173,159 @@ class Network:
         self._partitioned = bool(self._group_of)
 
     def heal_partitions(self) -> None:
-        """Remove any partition; full connectivity is restored."""
+        """Remove any group partition and directed blocks; full
+        connectivity is restored (degradation conditions are separate —
+        see :meth:`clear_conditions`)."""
         self._group_of = {}
         self._partitioned = False
+        self._blocks.clear()
+
+    def block(self, src_ids: Iterable[int], dst_ids: Iterable[int]) -> int:
+        """Add a directed blackhole: messages from ``src_ids`` to
+        ``dst_ids`` are dropped (counted as partition drops).
+
+        Returns a rule id for :meth:`unblock`. Rules compose — an
+        asymmetric partition is one rule, a symmetric one is two — and
+        coexist with :meth:`set_partitions` groups.
+        """
+        rule_id = self._next_block_id
+        self._next_block_id += 1
+        self._blocks[rule_id] = (frozenset(src_ids), frozenset(dst_ids))
+        return rule_id
+
+    def unblock(self, rule_id: int) -> None:
+        """Remove one directed blackhole rule (idempotent)."""
+        self._blocks.pop(rule_id, None)
 
     def _crosses_partition(self, src: int, dst: int) -> bool:
-        if not self._partitioned:
-            return False
-        default = -1
-        return self._group_of.get(src, default) != self._group_of.get(dst, default)
+        if self._partitioned:
+            default = -1
+            if self._group_of.get(src, default) != self._group_of.get(dst, default):
+                return True
+        if self._blocks:
+            for src_ids, dst_ids in self._blocks.values():
+                if src in src_ids and dst in dst_ids:
+                    return True
+        return False
+
+    # ----------------------------------------------------------- conditions
+
+    def set_node_conditions(
+        self, node_id: int, loss: float = 0.0, extra_latency: float = 0.0
+    ) -> None:
+        """Degrade every link touching ``node_id``: an extra independent
+        drop chance and/or added one-way latency (a "slow node" / "lossy
+        node"). Zero for both clears the entry."""
+        self._node_conditions[node_id] = self._checked_conditions(loss, extra_latency)
+        if self._node_conditions[node_id] == (0.0, 0.0):
+            del self._node_conditions[node_id]
+
+    def set_link_conditions(
+        self, src: int, dst: int, loss: float = 0.0, extra_latency: float = 0.0
+    ) -> None:
+        """Degrade one *directed* link ``src -> dst``. ``loss`` may be 1.0
+        (a blackhole link), unlike the global ``loss_rate``. Zero for both
+        clears the entry."""
+        self._link_conditions[(src, dst)] = self._checked_conditions(loss, extra_latency)
+        if self._link_conditions[(src, dst)] == (0.0, 0.0):
+            del self._link_conditions[(src, dst)]
+
+    def clear_node_conditions(self, node_id: int) -> None:
+        self._node_conditions.pop(node_id, None)
+
+    def clear_link_conditions(self, src: int, dst: int) -> None:
+        self._link_conditions.pop((src, dst), None)
+
+    def clear_conditions(self) -> None:
+        """Drop every degradation override: per-node, per-link, layered
+        conditions, and burst-loss windows."""
+        self._node_conditions.clear()
+        self._link_conditions.clear()
+        self._condition_layers.clear()
+        self._burst_layers.clear()
+
+    def add_conditions(
+        self, node_ids: Iterable[int], loss: float = 0.0, extra_latency: float = 0.0
+    ) -> int:
+        """Add one degradation *layer* over a node set: every link
+        touching a member gets the extra drop chance / latency.
+
+        Layers stack as independent conditions and are removed by the
+        returned token, so overlapping faults whose victim sets intersect
+        compose instead of clobbering each other (unlike the single-slot
+        :meth:`set_node_conditions` override, which is last-wins).
+        """
+        conditions = self._checked_conditions(loss, extra_latency)
+        token = self._next_token
+        self._next_token += 1
+        self._condition_layers[token] = (frozenset(node_ids),) + conditions
+        return token
+
+    def remove_conditions(self, token: int) -> None:
+        """Remove one degradation layer (idempotent)."""
+        self._condition_layers.pop(token, None)
+
+    def add_burst_loss(self, rate: float) -> int:
+        """Open a burst-loss window: a global extra drop chance combined
+        independently with ``loss_rate`` and every other condition.
+        Returns a token for :meth:`remove_burst_loss`; concurrent windows
+        stack."""
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError("burst loss rate must be in [0, 1]")
+        token = self._next_token
+        self._next_token += 1
+        self._burst_layers[token] = rate
+        return token
+
+    def remove_burst_loss(self, token: int) -> None:
+        """Close one burst-loss window (idempotent)."""
+        self._burst_layers.pop(token, None)
+
+    @staticmethod
+    def _checked_conditions(loss: float, extra_latency: float) -> Tuple[float, float]:
+        if not 0.0 <= loss <= 1.0:
+            raise ConfigurationError("condition loss must be in [0, 1]")
+        if extra_latency < 0:
+            raise ConfigurationError("extra latency must be non-negative")
+        return (loss, extra_latency)
+
+    def _loss_for(self, src: int, dst: int) -> float:
+        """Effective drop probability for one message on ``src -> dst``:
+        every active condition is an independent Bernoulli drop."""
+        loss = self.loss_rate
+        if not (
+            self._burst_layers
+            or self._node_conditions
+            or self._link_conditions
+            or self._condition_layers
+        ):
+            return loss
+        extras = [
+            self._node_conditions.get(src, _NO_CONDITIONS)[0],
+            self._node_conditions.get(dst, _NO_CONDITIONS)[0],
+            self._link_conditions.get((src, dst), _NO_CONDITIONS)[0],
+        ]
+        extras.extend(self._burst_layers.values())
+        for members, layer_loss, _ in self._condition_layers.values():
+            if src in members or dst in members:
+                extras.append(layer_loss)
+        for extra in extras:
+            if extra:
+                loss = 1.0 - (1.0 - loss) * (1.0 - extra)
+        return loss
+
+    def _extra_latency_for(self, src: int, dst: int) -> float:
+        if not (self._node_conditions or self._link_conditions or self._condition_layers):
+            return 0.0
+        extra = (
+            self._node_conditions.get(src, _NO_CONDITIONS)[1]
+            + self._node_conditions.get(dst, _NO_CONDITIONS)[1]
+            + self._link_conditions.get((src, dst), _NO_CONDITIONS)[1]
+        )
+        for members, _, layer_latency in self._condition_layers.values():
+            if src in members or dst in members:
+                extra += layer_latency
+        return extra
 
     # -------------------------------------------------------------- sending
 
@@ -168,11 +342,16 @@ class Network:
         self.metrics.inc(f"msg.sent.{kind}")
         if self._crosses_partition(src, dst):
             self.metrics.inc("msg.dropped.partition")
+            self.metrics.inc(f"msg.dropped.partition.{kind}")
             return False
-        if self.loss_rate > 0 and self.rng.random() < self.loss_rate:
+        loss = self._loss_for(src, dst)
+        if loss > 0 and self.rng.random() < loss:
             self.metrics.inc("msg.dropped.loss")
+            self.metrics.inc(f"msg.dropped.loss.{kind}")
             return False
-        latency = self.latency_model.sample(self.rng, src, dst)
+        latency = self.latency_model.sample(self.rng, src, dst) + self._extra_latency_for(
+            src, dst
+        )
         self.scheduler.schedule(latency, self._deliver, src, dst, msg, kind)
         return True
 

@@ -6,6 +6,15 @@ assigning the totally ordered versions the DATADROPLETS layer would
 (inserts start at version 1, each update bumps the key's version), and
 collects the statistics the benches report: success rates, latency
 percentiles, and — the paper's metric — messages per server node.
+
+Because the runner is the version oracle, it is also the consistency
+observer the fault scenarios need: it knows the highest version each key
+was *acknowledged* at, so it counts **stale reads** (a successful read
+returning an older version) as they happen, tracks per-key
+**unavailability windows** (first failed read until the next successful
+one) in an :class:`~repro.sim.metrics.AvailabilityTracker`, and exposes
+:attr:`WorkloadRunner.acked_versions` for the server-side lost-update
+audit (:func:`repro.analysis.consistency.count_write_losses`).
 """
 
 from __future__ import annotations
@@ -16,7 +25,7 @@ from typing import Dict, List, Optional
 
 from repro.core.client import DataFlasksClient
 from repro.core.cluster import DataFlasksCluster
-from repro.sim.metrics import mean, percentile
+from repro.sim.metrics import AvailabilityTracker, mean, percentile
 from repro.workload.ycsb import INSERT, READ, RMW, SCAN, UPDATE, CoreWorkload, Operation
 
 __all__ = ["RunStats", "WorkloadRunner"]
@@ -29,6 +38,7 @@ class RunStats:
     issued: int = 0
     succeeded: int = 0
     failed: int = 0
+    stale_reads: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
     latencies: Dict[str, List[float]] = field(default_factory=dict)
     duration: float = 0.0
@@ -87,6 +97,15 @@ class WorkloadRunner:
         self.acks_required = acks_required
         # The version oracle the upper layer (DATADROPLETS) provides.
         self._versions: Dict[str, int] = {}
+        # Highest version each key was acknowledged at — what a correct
+        # system must still be able to serve.
+        self._acked: Dict[str, int] = {}
+        self.availability = AvailabilityTracker()
+
+    @property
+    def acked_versions(self) -> Dict[str, int]:
+        """key -> highest acknowledged version (a copy)."""
+        return dict(self._acked)
 
     # ------------------------------------------------------------- phases
 
@@ -119,26 +138,18 @@ class WorkloadRunner:
 
     def _execute(self, op: Operation, stats: RunStats) -> None:
         if op.kind in (INSERT, UPDATE):
-            pending = self.client.put(
-                op.key, op.value, self._next_version(op.key), self.acks_required
-            )
-            self._await(pending)
+            pending = self._put(op.key, op.value)
             stats.record(op.kind, pending.succeeded, pending.latency)
         elif op.kind == READ:
-            pending = self.client.get(op.key)
-            self._await(pending)
+            pending = self._get(op.key, stats)
             stats.record(op.kind, pending.succeeded, pending.latency)
         elif op.kind == RMW:
             started = self.cluster.sim.now
-            read = self.client.get(op.key)
-            self._await(read)
+            read = self._get(op.key, stats)
             if not read.succeeded:
                 stats.record(op.kind, False, None)
                 return
-            write = self.client.put(
-                op.key, op.value, self._next_version(op.key), self.acks_required
-            )
-            self._await(write)
+            write = self._put(op.key, op.value)
             latency = self.cluster.sim.now - started
             stats.record(op.kind, write.succeeded, latency if write.succeeded else None)
         elif op.kind == SCAN:
@@ -149,11 +160,31 @@ class WorkloadRunner:
                 index = base_index + offset
                 if index >= self.workload.record_count:
                     break
-                pending = self.client.get(self.workload.key_for(index))
-                self._await(pending)
+                pending = self._get(self.workload.key_for(index), stats)
                 all_ok = all_ok and pending.succeeded
             latency = self.cluster.sim.now - started
             stats.record(op.kind, all_ok, latency if all_ok else None)
+
+    def _put(self, key: str, value):
+        version = self._next_version(key)
+        pending = self.client.put(key, value, version, self.acks_required)
+        self._await(pending)
+        if pending.succeeded and version > self._acked.get(key, 0):
+            self._acked[key] = version
+        return pending
+
+    def _get(self, key: str, stats: RunStats):
+        pending = self.client.get(key)
+        self._await(pending)
+        self.availability.record(key, self.cluster.sim.now, pending.succeeded)
+        expected = self._acked.get(key)
+        if (
+            pending.succeeded
+            and expected is not None
+            and (pending.result_version or 0) < expected
+        ):
+            stats.stale_reads += 1
+        return pending
 
     def _await(self, pending) -> None:
         self.cluster.sim.run_until_condition(

@@ -106,6 +106,67 @@ def test_scenarios_unknown_name_reports_error(capsys):
     assert "error:" in out and "no-such-thing" in out
 
 
+def test_scenarios_validate_bundled_name(capsys):
+    assert main(["scenarios", "validate", "asymmetric-partition"]) == 0
+    out = capsys.readouterr().out
+    assert "spec OK: asymmetric-partition" in out
+    assert "partition" in out
+    assert "heals_at" in out
+
+
+def test_scenarios_validate_spec_file_with_faults(tmp_path, capsys):
+    path = tmp_path / "faulty.toml"
+    path.write_text(
+        "\n".join(
+            [
+                'name = "faulty"',
+                "nodes = 20",
+                "[[faults]]",
+                'kind = "burst_loss"',
+                "loss = 0.5",
+                "start = 1.0",
+                "duration = 4.0",
+            ]
+        )
+    )
+    assert main(["scenarios", "validate", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "spec OK: faulty" in out
+    assert "burst_loss" in out
+
+
+def test_scenarios_validate_rejects_bad_fault(tmp_path, capsys):
+    path = tmp_path / "bad.toml"
+    path.write_text(
+        "\n".join(
+            [
+                'name = "bad"',
+                "[[faults]]",
+                'kind = "meteor"',
+            ]
+        )
+    )
+    assert main(["scenarios", "validate", str(path)]) == 2
+    assert "invalid spec" in capsys.readouterr().out
+
+
+def test_scenarios_validate_rejects_malformed_toml(tmp_path, capsys):
+    path = tmp_path / "broken.toml"
+    path.write_text("name = ")
+    assert main(["scenarios", "validate", str(path)]) == 2
+    assert "invalid spec" in capsys.readouterr().out
+
+
+def test_scenarios_validate_missing_file(capsys):
+    assert main(["scenarios", "validate", "/no/such/spec.toml"]) == 2
+    assert "error:" in capsys.readouterr().out
+
+
+def test_scenarios_validate_unknown_bundled_name(capsys):
+    assert main(["scenarios", "validate", "no-such-scenario"]) == 2
+    assert "error:" in capsys.readouterr().out
+
+
 def test_scenarios_sweep(capsys):
     argv = ["scenarios", "sweep", "baseline", "--seeds", "0", "1"] + SMALL_RUN
     assert main(argv) == 0

@@ -141,6 +141,160 @@ def test_registered_ids():
     assert not net.is_registered(5)
 
 
+class TestDirectedBlocks:
+    def test_block_is_directional(self):
+        net, sched, metrics = make_network()
+        inbox = []
+        net.register(1, lambda msg, src: inbox.append(src))
+        net.register(2, lambda msg, src: inbox.append(src))
+        rule = net.block([1], [2])
+        assert net.send(1, 2, Probe()) is False
+        assert net.send(2, 1, Probe()) is True
+        sched.run()
+        assert inbox == [2]
+        assert metrics.total("msg.dropped.partition") == 1
+        net.unblock(rule)
+        assert net.send(1, 2, Probe()) is True
+
+    def test_unblock_is_idempotent(self):
+        net, _, _ = make_network()
+        rule = net.block([1], [2])
+        net.unblock(rule)
+        net.unblock(rule)
+        assert net.send(1, 2, Probe()) is True
+
+    def test_rules_compose_with_partition_groups(self):
+        net, _, _ = make_network()
+        net.set_partitions([[1], [2, 3]])
+        net.block([2], [3])
+        assert net.send(1, 2, Probe()) is False  # group cut
+        assert net.send(2, 3, Probe()) is False  # directed rule
+        assert net.send(3, 2, Probe()) is True  # other direction open
+
+    def test_heal_partitions_clears_groups_and_blocks(self):
+        net, sched, metrics = make_network()
+        inbox = []
+        for node_id in (1, 2):
+            net.register(node_id, lambda msg, src: inbox.append(src))
+        net.set_partitions([[1], [2]])
+        net.block([2], [1])
+        net.send(1, 2, Probe())
+        net.send(2, 1, Probe())
+        assert metrics.total("msg.dropped.partition") == 2
+        net.heal_partitions()
+        # Post-heal delivery: both directions flow again.
+        net.send(1, 2, Probe())
+        net.send(2, 1, Probe())
+        sched.run()
+        assert sorted(inbox) == [1, 2]
+        assert metrics.total("msg.dropped.partition") == 2  # no new drops
+
+
+class TestPerTypeDropAccounting:
+    def test_partition_drops_are_counted_per_type(self):
+        net, _, metrics = make_network()
+        net.set_partitions([[1], [2]])
+        net.send(1, 2, Probe())
+        assert metrics.total("msg.dropped.partition.Probe") == 1
+        assert metrics.total("msg.dropped.partition") == 1
+
+    def test_loss_drops_are_counted_per_type(self):
+        net, _, metrics = make_network(loss_rate=0.5)
+        for _ in range(100):
+            net.send(1, 2, Probe())
+        dropped = metrics.total("msg.dropped.loss")
+        assert dropped > 0
+        assert metrics.total("msg.dropped.loss.Probe") == dropped
+
+
+class TestLinkConditions:
+    def test_node_loss_combines_with_global_loss(self):
+        net, _, _ = make_network(loss_rate=0.1)
+        net.set_node_conditions(2, loss=0.5)
+        assert net._loss_for(1, 3) == pytest.approx(0.1)
+        assert net._loss_for(1, 2) == pytest.approx(1 - 0.9 * 0.5)
+        assert net._loss_for(2, 1) == pytest.approx(1 - 0.9 * 0.5)
+
+    def test_link_loss_is_directional(self):
+        net, _, _ = make_network()
+        net.set_link_conditions(1, 2, loss=1.0)  # blackhole link allowed
+        assert net._loss_for(1, 2) == 1.0
+        assert net._loss_for(2, 1) == 0.0
+        assert net.send(1, 2, Probe()) is False
+
+    def test_extra_latency_sums_over_conditions(self):
+        net, sched, _ = make_network(latency_model=FixedLatency(0.1))
+        net.set_node_conditions(1, extra_latency=0.2)
+        net.set_node_conditions(2, extra_latency=0.3)
+        net.set_link_conditions(1, 2, extra_latency=0.4)
+        arrivals = []
+        net.register(2, lambda msg, src: arrivals.append(sched.now))
+        net.send(1, 2, Probe())
+        sched.run()
+        assert arrivals == [pytest.approx(1.0)]
+
+    def test_zero_conditions_clear_the_entry(self):
+        net, _, _ = make_network()
+        net.set_node_conditions(1, loss=0.5)
+        net.set_node_conditions(1)
+        assert net._loss_for(1, 2) == 0.0
+        net.set_link_conditions(1, 2, loss=0.5)
+        net.set_link_conditions(1, 2)
+        assert net._loss_for(1, 2) == 0.0
+
+    def test_clear_conditions_removes_everything(self):
+        net, _, _ = make_network()
+        net.set_node_conditions(1, loss=0.5, extra_latency=0.1)
+        net.set_link_conditions(2, 3, loss=0.5)
+        net.clear_conditions()
+        assert net._loss_for(1, 2) == 0.0
+        assert net._loss_for(2, 3) == 0.0
+        assert net._extra_latency_for(1, 2) == 0.0
+
+    def test_burst_loss_window(self):
+        net, _, metrics = make_network()
+        token = net.add_burst_loss(1.0)
+        assert net.send(1, 2, Probe()) is False
+        assert metrics.total("msg.dropped.loss") == 1
+        net.remove_burst_loss(token)
+        assert net.send(1, 2, Probe()) is True
+
+    def test_overlapping_burst_windows_stack(self):
+        net, _, _ = make_network()
+        first = net.add_burst_loss(0.5)
+        second = net.add_burst_loss(0.5)
+        assert net._loss_for(1, 2) == pytest.approx(0.75)
+        net.remove_burst_loss(first)
+        # The second window survives the first one's heal.
+        assert net._loss_for(1, 2) == pytest.approx(0.5)
+        net.remove_burst_loss(second)
+        assert net._loss_for(1, 2) == 0.0
+
+    def test_condition_layers_compose_on_shared_victims(self):
+        net, _, _ = make_network()
+        first = net.add_conditions([1, 2], loss=0.5, extra_latency=0.1)
+        second = net.add_conditions([2, 3], loss=0.5, extra_latency=0.2)
+        assert net._loss_for(2, 9) == pytest.approx(0.75)  # both layers
+        assert net._extra_latency_for(2, 9) == pytest.approx(0.3)
+        net.remove_conditions(first)
+        # Node 2 stays degraded by the still-open second layer.
+        assert net._loss_for(2, 9) == pytest.approx(0.5)
+        assert net._extra_latency_for(2, 9) == pytest.approx(0.2)
+        net.remove_conditions(second)
+        assert net._loss_for(2, 9) == 0.0
+
+    def test_invalid_conditions_rejected(self):
+        net, _, _ = make_network()
+        with pytest.raises(ConfigurationError):
+            net.set_node_conditions(1, loss=1.5)
+        with pytest.raises(ConfigurationError):
+            net.set_link_conditions(1, 2, extra_latency=-0.1)
+        with pytest.raises(ConfigurationError):
+            net.add_burst_loss(2.0)
+        with pytest.raises(ConfigurationError):
+            net.add_conditions([1], loss=-0.5)
+
+
 class TestLatencyModels:
     def test_fixed_constant(self):
         model = FixedLatency(0.1)

@@ -17,8 +17,10 @@ def test_subpackage_exports_resolve():
     import repro.churn
     import repro.core
     import repro.dht
+    import repro.faults
     import repro.gossip
     import repro.pss
+    import repro.scenarios
     import repro.sim
     import repro.slicing
     import repro.workload
@@ -28,8 +30,10 @@ def test_subpackage_exports_resolve():
         repro.churn,
         repro.core,
         repro.dht,
+        repro.faults,
         repro.gossip,
         repro.pss,
+        repro.scenarios,
         repro.sim,
         repro.slicing,
         repro.workload,

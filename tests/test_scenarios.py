@@ -10,6 +10,7 @@ from repro.churn.models import JOIN, LEAVE, CorrelatedFailure, PoissonChurn, Ses
 from repro.errors import ConfigurationError
 from repro.scenarios import (
     ChurnSpec,
+    FaultSpec,
     LatencySpec,
     ScenarioSpec,
     WorkloadSpec,
@@ -24,13 +25,17 @@ from repro.scenarios import (
 from repro.sim.network import FixedLatency, LogNormalLatency, UniformLatency
 
 EXPECTED_BUNDLED = {
+    "asymmetric-partition",
     "baseline",
+    "burst-loss",
     "catastrophic-failure",
+    "crash-recover-wave",
     "dht-baseline",
     "flash-crowd",
     "heterogeneous-latency",
     "scale-5k",
     "skewed-ycsb",
+    "slow-quartile",
     "steady-churn",
 }
 
@@ -136,6 +141,7 @@ class TestSpecBuilders:
         base = ScenarioSpec(
             name="x",
             churn=ChurnSpec(kind="correlated", fraction=0.3),
+            faults=[FaultSpec(kind="partition", fraction=0.3, groups=[[1], [2]])],
             config={"view_size": 10},
         )
         derived = base.scaled(nodes=9)
@@ -143,10 +149,14 @@ class TestSpecBuilders:
         derived.workload.preset = "ycsb-c"
         derived.latency.latency = 0.5
         derived.config["view_size"] = 99
+        derived.faults[0].fraction = 0.8
+        derived.faults[0].groups[0].append(3)
         assert base.churn.fraction == 0.3
         assert base.workload.preset == "write-only"
         assert base.latency.latency == 0.01
         assert base.config["view_size"] == 10
+        assert base.faults[0].fraction == 0.3
+        assert base.faults[0].groups == [[1], [2]]
 
 
 class TestSpecRoundTrip:
@@ -161,9 +171,14 @@ class TestSpecRoundTrip:
             loss_rate=0.01,
             latency=LatencySpec(kind="lognormal", median=0.05),
             churn=ChurnSpec(kind="trace", events=[[1.0, JOIN], [2.0, LEAVE]], start=3.0),
+            faults=[
+                FaultSpec(kind="partition", fraction=0.3, symmetric=False, start=1.0),
+                FaultSpec(kind="degrade", loss=0.2, extra_latency=0.05, nodes=[1, 2]),
+                FaultSpec(kind="crash_recover", fraction=0.2, duration=8.0),
+            ],
             workload=WorkloadSpec(preset="ycsb-f", record_count=12, operation_count=5),
             config={"view_size": 15},
-            metrics=("workload", "messages"),
+            metrics=("workload", "messages", "consistency"),
         )
 
     def test_dict_round_trip(self):
@@ -190,6 +205,15 @@ class TestSpecRoundTrip:
                     "[churn]",
                     'kind = "correlated"',
                     "fraction = 0.5",
+                    "[[faults]]",
+                    'kind = "partition"',
+                    "fraction = 0.25",
+                    "symmetric = false",
+                    "start = 2.0",
+                    "duration = 9.0",
+                    "[[faults]]",
+                    'kind = "burst_loss"',
+                    "loss = 0.4",
                     "[workload]",
                     'preset = "ycsb-c"',
                 ]
@@ -200,6 +224,15 @@ class TestSpecRoundTrip:
         assert spec.nodes == 30
         assert spec.churn.kind == "correlated"
         assert spec.workload.preset == "ycsb-c"
+        assert [f.kind for f in spec.faults] == ["partition", "burst_loss"]
+        assert spec.faults[0].symmetric is False
+        assert spec.faults[0].end == 11.0
+
+    def test_unknown_fault_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spec_from_dict(
+                {"name": "x", "faults": [{"kind": "partition", "blast_radius": 3}]}
+            )
 
     def test_unknown_extension_rejected(self, tmp_path):
         with pytest.raises(ConfigurationError):
