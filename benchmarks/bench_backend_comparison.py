@@ -1,0 +1,87 @@
+"""A10 — core vs dht vs oracle: the vs-ideal sweep.
+
+The backend registry makes the paper's comparison three-way: the same
+correlated mass failure, the same YCSB mix and the same seeds run
+against DATAFLASKS, the Chord baseline, and the idealized oracle store.
+The oracle column is the yardstick: its availability is the share of
+damage *any* store pays for living on this network with dead servers,
+and its consistency numbers are zero by construction — so the gap
+between a real stack and the oracle is exactly the protocol's cost.
+
+The sweep is registry-driven (``list_backends()``): registering a
+fourth backend adds a row here without touching this file.
+"""
+
+import pytest
+
+from repro.analysis.tables import rows_to_table
+from repro.backends import list_backends
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ChurnSpec, ScenarioSpec, WorkloadSpec
+
+from conftest import report
+
+N = 60
+KEYS = 20
+OPS = 40
+KILL_FRACTION = 0.3
+
+
+def comparison_spec(stack: str) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"vs-ideal-{stack}",
+        stack=stack,
+        nodes=N,
+        num_slices=6,
+        replication=3,
+        settle=20.0,
+        churn=ChurnSpec(kind="correlated", fraction=KILL_FRACTION),
+        workload=WorkloadSpec(preset="ycsb-a", record_count=KEYS, operation_count=OPS),
+        metrics=("workload", "population", "replication", "consistency"),
+    )
+
+
+def run_stack(stack: str, seed: int) -> dict:
+    metrics = run_scenario(comparison_spec(stack), seed=seed).metrics
+    return {
+        "backend": stack,
+        "reads_ok": metrics["txn_success_rate"],
+        "stale_reads": metrics["stale_reads"],
+        "lost_updates": metrics["lost_updates"],
+        "lost_objects": metrics["lost_objects"],
+        "replication_mean": metrics["replication_mean"],
+    }
+
+
+@pytest.mark.benchmark(group="ablation-backends")
+def test_backend_comparison_vs_ideal(benchmark):
+    def sweep():
+        return [run_stack(stack, seed=73) for stack in list_backends()]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        f"A10 — core vs dht vs oracle under a {int(KILL_FRACTION * 100)}% "
+        f"correlated failure (N={N})\n"
+        + rows_to_table(
+            rows,
+            [
+                "backend",
+                "reads_ok",
+                "stale_reads",
+                "lost_updates",
+                "lost_objects",
+                "replication_mean",
+            ],
+        )
+    )
+    by_backend = {r["backend"]: r for r in rows}
+    oracle = by_backend["oracle"]
+    # The ground truth: the ideal store never pays a consistency cost.
+    assert oracle["stale_reads"] == 0.0
+    assert oracle["lost_updates"] == 0.0
+    assert oracle["lost_objects"] == 0.0
+    # Nobody beats the ideal; the epidemic store tracks it closely while
+    # the R=3 ring cannot (30% dead > R-1 without repair time).
+    for stack in ("core", "dht"):
+        assert by_backend[stack]["reads_ok"] <= oracle["reads_ok"] + 1e-9
+    assert by_backend["core"]["reads_ok"] >= by_backend["dht"]["reads_ok"]

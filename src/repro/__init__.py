@@ -19,10 +19,23 @@ Quickstart::
     result = cluster.get_sync(client, "user:1")
     assert result.value == b"alice"
 
-See DESIGN.md for the paper-vs-reproduction mapping and
-benchmarks/README.md for the reproduced figures.
+Storage stacks are pluggable: every experiment surface (scenario specs,
+workload runner, nemesis, benches, CLI) drives a
+:class:`~repro.backends.base.StoreBackend` resolved from
+:func:`get_backend`; ``core`` (DATAFLASKS), ``dht`` (Chord) and
+``oracle`` (idealized ground-truth store) ship registered. See
+DESIGN.md ("Backend architecture") for the paper-vs-reproduction
+mapping and how to add a stack, and benchmarks/README.md for the
+reproduced figures.
 """
 
+from repro.backends import (
+    BackendRegistry,
+    StoreBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+)
 from repro.core import (
     DataFlasksClient,
     DataFlasksCluster,
@@ -37,9 +50,10 @@ from repro.core import (
 from repro.droplets import DropletsSession
 from repro.sim import Simulation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BackendRegistry",
     "DataFlasksClient",
     "DropletsSession",
     "DataFlasksCluster",
@@ -49,7 +63,11 @@ __all__ = [
     "MemoryStore",
     "PendingOp",
     "Simulation",
+    "StoreBackend",
     "VersionedStore",
+    "get_backend",
+    "list_backends",
+    "register_backend",
     "slice_for_key",
     "__version__",
 ]

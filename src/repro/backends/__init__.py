@@ -1,0 +1,58 @@
+"""Pluggable storage backends — the stack-neutral experiment surface.
+
+* :mod:`repro.backends.base` — the :class:`StoreBackend` protocol every
+  stack implements (deploy, converge, clients, churn, metrics hook)
+* :mod:`repro.backends.registry` — :class:`BackendRegistry`,
+  :func:`register_backend`, :func:`get_backend`, :func:`list_backends`
+* :mod:`repro.backends.core` — DATAFLASKS (``stack = "core"``)
+* :mod:`repro.backends.dht` — the Chord baseline (``stack = "dht"``)
+* :mod:`repro.backends.oracle` — an idealized centralized replicated
+  store (``stack = "oracle"``), the ground-truth consistency baseline
+
+Quickstart::
+
+    from repro.backends import get_backend
+    from repro.scenarios import load_bundled
+    from repro.sim import Simulation
+
+    spec = load_bundled("baseline").scaled(nodes=40)
+    backend = get_backend(spec.stack).deploy(spec, Simulation(seed=7))
+    backend.converge(spec)
+    client = backend.new_client()
+    backend.put_sync(client, "user:1", b"alice", version=1)
+
+Importing this package registers the three built-in backends; third
+parties register theirs with :func:`register_backend` (see DESIGN.md,
+"Backend architecture").
+"""
+
+from repro.backends.base import REPLICATION_SAMPLE, StoreBackend, round_metric
+from repro.backends.registry import (
+    REGISTRY,
+    BackendRegistry,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+
+# Importing the built-in backend modules registers them.
+from repro.backends.core import CoreBackend
+from repro.backends.dht import DhtBackend
+from repro.backends.oracle import OracleBackend, OracleClient, OracleCluster, OracleNode
+
+__all__ = [
+    "REGISTRY",
+    "REPLICATION_SAMPLE",
+    "BackendRegistry",
+    "CoreBackend",
+    "DhtBackend",
+    "OracleBackend",
+    "OracleClient",
+    "OracleCluster",
+    "OracleNode",
+    "StoreBackend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "round_metric",
+]

@@ -1,0 +1,178 @@
+"""The pluggable storage-backend protocol.
+
+A :class:`StoreBackend` is everything the experiment pipeline — the
+scenario runner, the workload runner, the nemesis heal probe and the
+benches — needs from a storage stack, captured as one abstract surface:
+
+* **provisioning** — :meth:`StoreBackend.deploy` builds the stack inside
+  an existing :class:`~repro.sim.simulator.Simulation` from a
+  :class:`~repro.scenarios.spec.ScenarioSpec`,
+* **driving** — :meth:`new_client`, :meth:`run_op`, :meth:`put_sync`,
+  :meth:`get_sync` (clients must speak the
+  :class:`~repro.core.client.PendingOp` protocol),
+* **convergence** — :meth:`converge` runs the stack's warm-up routine
+  once at deploy time; :meth:`converged` is the cheap "does the overlay
+  look whole right now?" predicate the heal probe polls after faults,
+* **membership** — :meth:`churn_controller` and :meth:`directory`, so
+  churn models and fault injectors work on any stack,
+* **observation** — :meth:`replication_level`,
+  :meth:`server_message_load`, and the :meth:`collect_metrics` hook
+  where each backend contributes its stack-specific metric blocks
+  (slice health for DATAFLASKS, ring health for the DHT) instead of the
+  runner special-casing stacks.
+
+Concrete backends are thin adapters over a deployment facade (kept on
+:attr:`StoreBackend.cluster`); the facade classes themselves —
+:class:`~repro.core.cluster.DataFlasksCluster`,
+:class:`~repro.dht.cluster.DhtCluster`,
+:class:`~repro.backends.oracle.OracleCluster` — stay importable and
+usable directly. Backends register under their ``spec.stack`` name with
+:func:`~repro.backends.registry.register_backend`; see
+:mod:`repro.backends.registry` for lookup and
+DESIGN.md ("Backend architecture") for how to add one.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, List, Optional, Set
+
+from repro.sim.metrics import mean
+from repro.sim.simulator import Simulation
+
+__all__ = ["StoreBackend", "REPLICATION_SAMPLE", "round_metric"]
+
+# How many of the loaded keys the replication metric samples; sweeping
+# every key on a 5k-node run would dominate the collection cost.
+REPLICATION_SAMPLE = 25
+
+
+def round_metric(value: float) -> float:
+    """Round for stable, readable summaries (determinism does not depend
+    on this, but 17-digit floats make tables unreadable)."""
+    return round(float(value), 6)
+
+
+class StoreBackend(abc.ABC):
+    """Abstract storage stack behind the experiment pipeline.
+
+    :cvar name: the registry key ``spec.stack`` resolves
+        (set by :func:`~repro.backends.registry.register_backend`).
+    :cvar description: one line for ``repro backends list``.
+    :ivar cluster: the wrapped deployment facade; anything not covered
+        by the protocol (stack-specific helpers, direct store access)
+        remains reachable here.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def __init__(self, cluster: Any) -> None:
+        self.cluster = cluster
+
+    # --------------------------------------------------------- provisioning
+
+    @classmethod
+    @abc.abstractmethod
+    def deploy(cls, spec: Any, sim: Simulation) -> "StoreBackend":
+        """Build the stack described by ``spec`` inside ``sim``."""
+
+    # ---------------------------------------------------------- convergence
+
+    @abc.abstractmethod
+    def converge(self, spec: Any) -> bool:
+        """Run the stack's warm-up/stabilisation routine; ``True`` when
+        the deployment reached its ready state within the spec's
+        ``warmup``/``convergence_timeout`` budget."""
+
+    @abc.abstractmethod
+    def converged(self) -> bool:
+        """Cheap instantaneous predicate: does the overlay look whole
+        right now? Polled by the nemesis heal probe after every heal."""
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def sim(self) -> Simulation:
+        return self.cluster.sim
+
+    @property
+    def servers(self) -> List[Any]:
+        """All server nodes ever deployed (alive and crashed); fault
+        injectors and churn scope their victims to these."""
+        return self.cluster.servers
+
+    @property
+    def clients(self) -> List[Any]:
+        return self.cluster.clients
+
+    def directory(self) -> List[int]:
+        """Alive server ids — what a load-balancer/tracker would expose."""
+        return self.cluster.directory()
+
+    def churn_controller(self, **kwargs: Any):
+        """A :class:`~repro.churn.controller.ChurnController` scoped to
+        this stack's servers (co-simulated clients are never victims)."""
+        return self.cluster.churn_controller(**kwargs)
+
+    # ------------------------------------------------------------- clients
+
+    def new_client(self, **kwargs: Any):
+        """Create and start a client node speaking ``PendingOp``."""
+        return self.cluster.new_client(**kwargs)
+
+    def run_op(self, op, timeout: float = 30.0):
+        """Advance virtual time until ``op`` completes."""
+        return self.cluster.run_op(op, timeout)
+
+    def put_sync(
+        self,
+        client,
+        key: str,
+        value: Any,
+        version: int,
+        acks_required: int = 1,
+        timeout: float = 30.0,
+    ):
+        return self.run_op(client.put(key, value, version, acks_required), timeout)
+
+    def get_sync(self, client, key: str, version: Optional[int] = None, timeout: float = 30.0):
+        return self.run_op(client.get(key, version), timeout)
+
+    # ---------------------------------------------------------- observation
+
+    def replication_level(self, key: str, version: Optional[int] = None) -> int:
+        """How many alive servers hold the object right now."""
+        return self.cluster.replication_level(key, version)
+
+    def server_message_load(self) -> Dict[str, float]:
+        """Mean messages sent/received per *server* node."""
+        return self.cluster.server_message_load()
+
+    def collect_metrics(self, groups: Set[str], workload: Any, metrics: Dict[str, float]) -> None:
+        """Contribute stack-specific metric blocks to a scenario result.
+
+        ``groups`` is the spec's requested metric-group set; ``workload``
+        is the built :class:`~repro.workload.ycsb.CoreWorkload` (its
+        ``key_for``/``record_count`` drive key sampling). Implementations
+        add ``name -> float`` entries to ``metrics``; groups a stack has
+        no equivalent for are skipped silently. The default contributes
+        the cross-stack ``replication`` block.
+        """
+        self.collect_replication(groups, workload, metrics)
+
+    def collect_replication(
+        self, groups: Set[str], workload: Any, metrics: Dict[str, float]
+    ) -> None:
+        """The ``replication`` metric block, shared by every backend that
+        implements :meth:`replication_level` (all of them)."""
+        if "replication" not in groups:
+            return
+        sample = [
+            workload.key_for(i)
+            for i in range(min(workload.record_count, REPLICATION_SAMPLE))
+        ]
+        levels = [self.replication_level(key) for key in sample]
+        metrics["replication_mean"] = round_metric(mean(levels))
+        metrics["replication_min"] = float(min(levels)) if levels else 0.0
+        metrics["replication_lost"] = float(sum(1 for l in levels if l == 0))

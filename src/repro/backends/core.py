@@ -1,0 +1,59 @@
+"""The ``core`` backend: DATAFLASKS behind the :class:`StoreBackend` API.
+
+A thin adapter over :class:`~repro.core.cluster.DataFlasksCluster` — the
+facade keeps its full public surface for direct use; this class only
+maps the pipeline protocol onto it and contributes the slice-health
+metric block that used to live in the scenario runner.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Set
+
+from repro.backends.base import StoreBackend, round_metric
+from repro.backends.registry import register_backend
+from repro.core.cluster import DataFlasksCluster
+from repro.core.config import DataFlasksConfig
+from repro.sim.simulator import Simulation
+from repro.slicing.metrics import slice_histogram, unassigned_fraction
+
+__all__ = ["CoreBackend"]
+
+
+@register_backend("core")
+class CoreBackend(StoreBackend):
+    """DATAFLASKS: the paper's epidemic slice-based store."""
+
+    description = "DATAFLASKS epidemic slice-based store (the paper's system)"
+
+    cluster: DataFlasksCluster
+
+    @classmethod
+    def deploy(cls, spec: Any, sim: Simulation) -> "CoreBackend":
+        config = DataFlasksConfig(num_slices=spec.num_slices, **spec.config)
+        return cls(DataFlasksCluster(n=spec.nodes, config=config, sim=sim))
+
+    def converge(self, spec: Any) -> bool:
+        self.cluster.warm_up(spec.warmup)
+        return self.cluster.wait_for_slices(timeout=spec.convergence_timeout)
+
+    def converged(self) -> bool:
+        """Every alive node placed in a slice and no slice empty."""
+        alive = self.cluster.alive_servers()
+        if not alive or unassigned_fraction(alive) > 0:
+            return False
+        hist = slice_histogram(alive)
+        return all(hist.get(i, 0) > 0 for i in range(self.cluster.config.num_slices))
+
+    def collect_metrics(self, groups: Set[str], workload: Any, metrics: Dict[str, float]) -> None:
+        alive = self.cluster.alive_servers()
+        if "slices" in groups and alive:
+            hist = slice_histogram(alive)
+            num_slices = self.cluster.config.num_slices
+            populated = [hist.get(i, 0) for i in range(num_slices)]
+            metrics["slices_total"] = float(num_slices)
+            metrics["slices_empty"] = float(sum(1 for c in populated if c == 0))
+            metrics["slice_population_min"] = float(min(populated))
+            metrics["slice_population_max"] = float(max(populated))
+            metrics["slice_unassigned_fraction"] = round_metric(unassigned_fraction(alive))
+        self.collect_replication(groups, workload, metrics)

@@ -1,0 +1,46 @@
+"""The ``dht`` backend: the Chord baseline behind :class:`StoreBackend`.
+
+Adapter over :class:`~repro.dht.cluster.DhtCluster`. Convergence maps to
+ring stabilisation, the heal-probe predicate to successor-cycle
+consistency, and the metric hook contributes the ring-health block the
+runner previously had no stack-neutral place for.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Set
+
+from repro.backends.base import StoreBackend
+from repro.backends.registry import register_backend
+from repro.dht.cluster import DhtCluster
+from repro.sim.simulator import Simulation
+
+__all__ = ["DhtBackend"]
+
+
+@register_backend("dht")
+class DhtBackend(StoreBackend):
+    """Chord-style DHT with successor-list replication (the paper's
+    structured-overlay control group)."""
+
+    description = "Chord-style DHT with R-successor replication (baseline)"
+
+    cluster: DhtCluster
+
+    @classmethod
+    def deploy(cls, spec: Any, sim: Simulation) -> "DhtBackend":
+        return cls(DhtCluster(n=spec.nodes, replication=spec.replication, sim=sim))
+
+    def converge(self, spec: Any) -> bool:
+        self.cluster.stabilize(spec.warmup)
+        return self.cluster.ring_is_consistent()
+
+    def converged(self) -> bool:
+        """Successor pointers form one cycle over all alive nodes."""
+        return self.cluster.ring_is_consistent()
+
+    def collect_metrics(self, groups: Set[str], workload: Any, metrics: Dict[str, float]) -> None:
+        if "population" in groups:
+            # Ring health: the structured-overlay analogue of slice health.
+            metrics["ring_consistent"] = float(self.cluster.ring_is_consistent())
+        self.collect_replication(groups, workload, metrics)

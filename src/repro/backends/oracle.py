@@ -1,0 +1,365 @@
+"""The ``oracle`` backend: an idealized centralized replicated store.
+
+The registry's proof of extensibility, and — more usefully — a
+**ground-truth consistency baseline** for the fault scenarios. The
+oracle models a store with magic replication: every server is a front
+end to one shared :class:`~repro.core.store.VersionedStore`, so a write
+acknowledged by *any* server is instantly visible at *every* server, a
+crashed server "retains" the full dataset by construction, and a joiner
+is up to date the moment it boots. What stays real is the network:
+clients reach servers over the same simulated links as every other
+stack, so partitions, loss windows, latency spikes and crashes still
+cost *availability* (requests time out and retry), but can never cost
+*consistency*.
+
+That split is the point. Run the same workload and fault schedule
+against ``core``/``dht`` and against ``oracle``: stale reads and lost
+updates on the oracle arm are zero by construction, so anything the real
+stacks report in the PR-2 consistency metrics is protocol-induced, while
+the oracle's failed-request/unavailability numbers isolate the share of
+damage any store must pay just for living on a wounded network
+(the "vs-ideal" scenario family; see ``oracle-baseline`` /
+``oracle-fault-wave`` and ``benchmarks/bench_backend_comparison.py``).
+
+Deliberate idealisations, for honest reading of results:
+
+* replication is free and instantaneous (shared state, no replica
+  traffic, no anti-entropy) — per-node message loads are *not*
+  comparable with real stacks, only client-observed metrics are;
+* ``acks_required`` is satisfied by one ack: a single server ack already
+  means full replication;
+* ``replication_level`` equals the alive-server count for any stored
+  key — the ideal every real stack's replication is measured against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.backends.base import StoreBackend
+from repro.backends.registry import register_backend
+from repro.core.client import FAILED, GET, PUT, PendingOp, SUCCEEDED
+from repro.core.store import MemoryStore, VersionedStore
+from repro.errors import ClientError, ConfigurationError, OperationTimeoutError
+from repro.sim.node import Node, SimContext
+from repro.sim.simulator import Simulation
+
+__all__ = ["OracleNode", "OracleClient", "OracleCluster", "OracleBackend"]
+
+ReqId = tuple
+
+
+# ------------------------------------------------------------------ messages
+
+
+@dataclass(frozen=True)
+class OraclePut:
+    key: str
+    version: int
+    value: Any
+    req_id: ReqId
+
+
+@dataclass(frozen=True)
+class OraclePutAck:
+    req_id: ReqId
+    ok: bool
+
+
+@dataclass(frozen=True)
+class OracleGet:
+    key: str
+    version: Optional[int]
+    req_id: ReqId
+
+
+@dataclass(frozen=True)
+class OracleGetReply:
+    req_id: ReqId
+    found: bool
+    value: Any
+    version: Optional[int]
+
+
+# ------------------------------------------------------------------- servers
+
+
+class OracleNode(Node):
+    """A front end to the shared store: serves puts/gets over the
+    simulated network, holds no private state worth losing."""
+
+    def __init__(self, node_id: int, ctx: SimContext, store: VersionedStore) -> None:
+        super().__init__(node_id, ctx)
+        self.store = store
+        self.register_handler(OraclePut, self._on_put)
+        self.register_handler(OracleGet, self._on_get)
+
+    def holds(self, key: str, version: Optional[int] = None) -> bool:
+        return self.alive and self.store.get(key, version) is not None
+
+    def _on_put(self, msg: OraclePut, src: int) -> None:
+        self.store.put(msg.key, msg.version, msg.value)
+        self.metrics.inc("oracle.server.put")
+        self.send(src, OraclePutAck(req_id=msg.req_id, ok=True))
+
+    def _on_get(self, msg: OracleGet, src: int) -> None:
+        obj = self.store.get(msg.key, msg.version)
+        self.metrics.inc("oracle.server.get")
+        self.send(
+            src,
+            OracleGetReply(
+                req_id=msg.req_id,
+                found=obj is not None,
+                value=obj.value if obj is not None else None,
+                version=obj.version if obj is not None else None,
+            ),
+        )
+
+
+# ------------------------------------------------------------------- clients
+
+
+class OracleClient(Node):
+    """put/get against any alive oracle server, with the same
+    :class:`~repro.core.client.PendingOp` protocol, timeouts and retries
+    as the DATAFLASKS and DHT clients."""
+
+    def __init__(
+        self,
+        node_id: int,
+        ctx: SimContext,
+        directory: Callable[[], List[int]],
+        timeout: float = 5.0,
+        retries: int = 2,
+    ) -> None:
+        super().__init__(node_id, ctx)
+        self._directory = directory
+        self.timeout = timeout
+        self.retries = retries
+        self._next_seq = 0
+        self._pending: Dict[ReqId, PendingOp] = {}
+        self.register_handler(OraclePutAck, self._on_put_ack)
+        self.register_handler(OracleGetReply, self._on_get_reply)
+
+    # ----------------------------------------------------------------- API
+
+    def put(self, key: str, value: Any, version: int, acks_required: int = 1) -> PendingOp:
+        """Store through any server; one ack is full replication, so
+        ``acks_required`` is accepted for API parity and satisfied by 1."""
+        op = self._new_op(PUT, key, version)
+        op.value_to_put = value
+        self._dispatch(op)
+        return op
+
+    def get(self, key: str, version: Optional[int] = None) -> PendingOp:
+        op = self._new_op(GET, key, version)
+        self._dispatch(op)
+        return op
+
+    # ------------------------------------------------------------ internal
+
+    def _new_op(self, kind: str, key: str, version: Optional[int]) -> PendingOp:
+        if not self.alive:
+            raise ClientError("client is not started")
+        req_id = (self.id, self._next_seq)
+        self._next_seq += 1
+        op = PendingOp(kind, key, version, req_id, 1, self.now)
+        self._pending[req_id] = op
+        return op
+
+    def _contact(self) -> Optional[int]:
+        servers = sorted(self._directory())
+        if not servers:
+            return None
+        return self.rng.choice(servers)
+
+    def _request_message(self, op: PendingOp):
+        if op.kind == PUT:
+            assert op.version is not None
+            return OraclePut(op.key, op.version, op.value_to_put, op.req_id)
+        return OracleGet(op.key, op.version, op.req_id)
+
+    def _dispatch(self, op: PendingOp) -> None:
+        contact = self._contact()
+        if contact is None:
+            self.metrics.inc(f"oracle.client.{op.kind}.no_contact")
+            op._complete(FAILED, self.now, error="no server available")
+            self._pending.pop(op.req_id, None)
+            return
+        self.send(contact, self._request_message(op))
+        self.after(self.timeout, self._on_timeout, op.req_id, op.attempts)
+
+    def _on_timeout(self, req_id: ReqId, attempt: int) -> None:
+        op = self._pending.get(req_id)
+        if op is None or op.done or op.attempts != attempt:
+            return
+        if op.attempts > self.retries:
+            self.metrics.inc(f"oracle.client.{op.kind}.timeout")
+            op._complete(FAILED, self.now, error=f"timed out after {op.attempts} attempts")
+            self._pending.pop(req_id, None)
+            return
+        op.attempts += 1
+        self.metrics.inc(f"oracle.client.{op.kind}.retry")
+        self._dispatch(op)
+
+    def _on_put_ack(self, msg: OraclePutAck, src: int) -> None:
+        op = self._pending.get(msg.req_id)
+        if op is None or op.done:
+            self.metrics.inc("oracle.client.duplicate_reply")
+            return
+        op.replies += 1
+        op.acks.add(src)
+        self.metrics.inc("oracle.client.put.ok")
+        self.metrics.observe("oracle.client.put.latency", self.now - op.started_at)
+        op._complete(SUCCEEDED, self.now)
+        self._pending.pop(msg.req_id, None)
+
+    def _on_get_reply(self, msg: OracleGetReply, src: int) -> None:
+        op = self._pending.get(msg.req_id)
+        if op is None or op.done:
+            self.metrics.inc("oracle.client.duplicate_reply")
+            return
+        op.replies += 1
+        if not msg.found:
+            # The shared store is the ground truth: a miss is a real miss,
+            # not a replica that has yet to catch up. Fail fast so reads
+            # of never-written keys do not burn the retry budget.
+            op._complete(FAILED, self.now, error="key not found")
+            self._pending.pop(msg.req_id, None)
+            return
+        op.value = msg.value
+        op.result_version = msg.version
+        self.metrics.inc("oracle.client.get.ok")
+        self.metrics.observe("oracle.client.get.latency", self.now - op.started_at)
+        op._complete(SUCCEEDED, self.now)
+        self._pending.pop(msg.req_id, None)
+
+
+# ------------------------------------------------------------------- cluster
+
+
+class OracleCluster:
+    """Deployment facade for the oracle, mirroring
+    :class:`~repro.core.cluster.DataFlasksCluster`'s driving surface.
+
+    :param n: number of server front ends.
+    :param sim: the simulation to deploy into (created if omitted).
+    :param store: the shared store (a fresh unbounded
+        :class:`~repro.core.store.MemoryStore` by default).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        sim: Optional[Simulation] = None,
+        seed: int = 0,
+        store: Optional[VersionedStore] = None,
+    ) -> None:
+        if n <= 0:
+            raise ConfigurationError("cluster size must be positive")
+        self.sim = sim if sim is not None else Simulation(seed=seed)
+        self.store = store if store is not None else MemoryStore()
+        self.servers: List[OracleNode] = []
+        self.clients: List[OracleClient] = []
+        for _ in range(n):
+            node = self.sim.add_node(self._factory)
+            assert isinstance(node, OracleNode)
+            self.servers.append(node)
+        for server in self.servers:
+            server.start()
+
+    def _factory(self, node_id: int, ctx: SimContext) -> Node:
+        return OracleNode(node_id, ctx, store=self.store)
+
+    # -------------------------------------------------------------- helpers
+
+    def server_factory(self) -> Callable[[int, SimContext], Node]:
+        """Factory for churn joins; the joiner shares the store, so it is
+        fully caught up the moment it starts (ideal state transfer)."""
+
+        def factory(node_id: int, ctx: SimContext) -> Node:
+            node = OracleNode(node_id, ctx, store=self.store)
+            self.servers.append(node)
+            return node
+
+        return factory
+
+    def directory(self) -> List[int]:
+        return [s.id for s in self.servers if s.alive]
+
+    def churn_controller(self, **kwargs):
+        """A ChurnController scoped to this cluster's servers."""
+        from repro.churn.controller import ChurnController
+
+        return ChurnController(
+            self.sim,
+            self.server_factory(),
+            eligible=lambda: [s for s in self.servers if s.alive],
+            **kwargs,
+        )
+
+    def new_client(self, timeout: float = 5.0, retries: int = 2) -> OracleClient:
+        def factory(node_id: int, ctx: SimContext) -> Node:
+            return OracleClient(node_id, ctx, self.directory, timeout=timeout, retries=retries)
+
+        client = self.sim.add_node(factory)
+        assert isinstance(client, OracleClient)
+        client.start()
+        self.clients.append(client)
+        return client
+
+    # ------------------------------------------------------------- sync ops
+
+    def run_op(self, op: PendingOp, timeout: float = 30.0) -> PendingOp:
+        self.sim.run_until_condition(lambda: op.done, timeout, check_interval=0.1)
+        if not op.done:
+            raise OperationTimeoutError(op.kind, op.key, timeout)
+        return op
+
+    def put_sync(self, client: OracleClient, key: str, value, version: int,
+                 acks_required: int = 1, timeout: float = 30.0) -> PendingOp:
+        return self.run_op(client.put(key, value, version, acks_required), timeout)
+
+    def get_sync(self, client: OracleClient, key: str, version: Optional[int] = None,
+                 timeout: float = 30.0) -> PendingOp:
+        return self.run_op(client.get(key, version), timeout)
+
+    # --------------------------------------------------------------- health
+
+    def replication_level(self, key: str, version: Optional[int] = None) -> int:
+        # One lookup suffices: every alive server fronts the same store.
+        if self.store.get(key, version) is None:
+            return 0
+        return len(self.directory())
+
+    def server_message_load(self) -> Dict[str, float]:
+        return self.sim.metrics.message_load(population=[s.id for s in self.servers])
+
+
+# ------------------------------------------------------------------- backend
+
+
+@register_backend("oracle")
+class OracleBackend(StoreBackend):
+    """Idealized centralized replicated store — the vs-ideal baseline."""
+
+    description = "idealized centralized replicated store (ground-truth baseline)"
+
+    cluster: OracleCluster
+
+    @classmethod
+    def deploy(cls, spec: Any, sim: Simulation) -> "OracleBackend":
+        return cls(OracleCluster(n=spec.nodes, sim=sim))
+
+    def converge(self, spec: Any) -> bool:
+        # Nothing to stabilise; burn the same warm-up budget as the real
+        # stacks so phase timelines stay comparable across backends.
+        self.cluster.sim.run_for(spec.warmup)
+        return bool(self.cluster.directory())
+
+    def converged(self) -> bool:
+        """The oracle is whole as soon as any server is reachable-alive:
+        there is no overlay to reconverge, which is exactly what makes
+        its time-to-heal the floor every real stack is measured against."""
+        return bool(self.cluster.directory())

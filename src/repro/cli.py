@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
     python -m repro fig3 --nodes 100 200 # Figure 3 sweep
     python -m repro fig4 --nodes 100 200 # Figure 4 sweep
     python -m repro check --nodes 50     # deploy, load, health report
+    python -m repro backends list        # registered storage backends
     python -m repro scenarios list       # bundled scenario catalogue
     python -m repro scenarios run catastrophic-failure --seed 7
     python -m repro scenarios sweep baseline --seeds 0 1 2
@@ -28,6 +29,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.health import check_cluster
 from repro.analysis.tables import format_series, format_table, rows_to_table
+from repro.backends import REGISTRY, get_backend
 from repro.core.cluster import DataFlasksCluster
 from repro.core.config import DataFlasksConfig
 from repro.errors import ConfigurationError
@@ -70,6 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--keys", type=int, default=10)
     check.add_argument("--seed", type=int, default=7)
 
+    backends = sub.add_parser(
+        "backends", help="pluggable storage backends (list)"
+    )
+    backends_action = backends.add_subparsers(dest="action", required=True)
+    backends_action.add_parser("list", help="show registered backends")
+
     scenarios = sub.add_parser(
         "scenarios", help="declarative experiments (list, run, sweep)"
     )
@@ -95,8 +103,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     validate = action.add_parser(
         "validate",
-        help="check a .toml/.json spec (including its [faults] schedule) "
-        "without running it",
+        help="check a .toml/.json spec (its stack against the backend "
+        "registry, and its [faults] schedule) without running it",
     )
     validate.add_argument(
         "spec",
@@ -220,6 +228,16 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.healthy else 1
 
 
+def _cmd_backends(args: argparse.Namespace) -> int:
+    # Only `list` exists today; argparse enforces the action.
+    rows = [
+        {"name": name, "class": cls.__name__, "description": cls.description}
+        for name, cls in REGISTRY.items()
+    ]
+    print(rows_to_table(rows, ["name", "class", "description"]))
+    return 0
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     if args.action == "list":
         rows = [
@@ -272,9 +290,10 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
 
 
 def _validate_spec(target: str) -> int:
-    """Check a spec file (or bundled name) without running it: parse it,
-    then build every runtime object it describes — latency model, churn
-    model, workload, and the full ``[faults]`` injector schedule."""
+    """Check a spec file (or bundled name) without running it: parse it
+    (which resolves ``stack`` against the backend registry), then build
+    every runtime object it describes — latency model, churn model,
+    workload, and the full ``[faults]`` injector schedule."""
     try:
         if target.endswith((".toml", ".json")):
             spec = load_spec(target)
@@ -293,7 +312,9 @@ def _validate_spec(target: str) -> int:
         # covers every semantic check the sub-specs run on construction.
         print(f"error: invalid spec: {exc}")
         return 2
+    backend = get_backend(spec.stack)  # registry-checked at spec build too
     print(f"spec OK: {spec.name} ({spec.stack}, {spec.nodes} nodes, seed {spec.seed})")
+    print(f"  backend: {spec.stack} — {backend.description}")
     print(
         f"  workload: {spec.workload.preset} "
         f"(load {spec.workload.record_count}, txn {spec.workload.operation_count})"
@@ -321,6 +342,7 @@ _COMMANDS = {
     "fig3": _cmd_fig3,
     "fig4": _cmd_fig4,
     "check": _cmd_check,
+    "backends": _cmd_backends,
     "scenarios": _cmd_scenarios,
 }
 

@@ -20,6 +20,11 @@ Bundled set (see each file's ``description`` for the full story):
 ``slow-quartile``         a quarter of the servers get slow, lossy links
 ``crash-recover-wave``    30% crash and later restart with retained stores
 ``burst-loss``            a 60%-loss window hits every link at once
+``dht-crash-recover``     the Chord ring under the crash-recover wave,
+                          time-to-heal measured on ring consistency
+``oracle-baseline``       the idealized ground-truth store, steady state
+``oracle-fault-wave``     the oracle under crashes + loss: availability
+                          without consistency cost, the vs-ideal yardstick
 ========================  ====================================================
 """
 

@@ -10,6 +10,12 @@ same spec and seed produce *byte-identical* summaries
 (:meth:`ScenarioResult.summary_json`), the reproducibility contract the
 CLI and tests assert.
 
+The runner is stack-neutral: ``spec.stack`` resolves through the backend
+registry (:mod:`repro.backends`) to a
+:class:`~repro.backends.base.StoreBackend`, which owns deployment,
+convergence, the heal-probe predicate and the stack-specific metric
+blocks. Adding a stack never touches this module.
+
 Timeline: deploy -> warmup/convergence -> load -> settle -> arm the
 nemesis schedule and churn -> transaction phase (kept running until the
 last fault heals) -> time-to-heal measurement -> cooldown -> collect.
@@ -22,28 +28,19 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.aggregate import aggregate_rows
 from repro.analysis.consistency import count_write_losses
+from repro.backends import StoreBackend, get_backend
+from repro.backends.base import round_metric as _r
 from repro.churn.controller import ChurnController
-from repro.core.cluster import DataFlasksCluster
-from repro.core.config import DataFlasksConfig
-from repro.dht.cluster import DhtCluster
 from repro.faults.nemesis import Nemesis
 from repro.scenarios.spec import ScenarioSpec
-from repro.sim.metrics import mean
 from repro.sim.simulator import Simulation
-from repro.slicing.metrics import slice_histogram, unassigned_fraction
 from repro.workload.runner import RunStats, WorkloadRunner
 
 __all__ = ["ScenarioResult", "SweepResult", "run_scenario", "run_sweep"]
-
-Cluster = Union[DataFlasksCluster, DhtCluster]
-
-# How many of the loaded keys the replication metric samples; sweeping
-# every key on a 5k-node run would dominate the collection cost.
-REPLICATION_SAMPLE = 25
 
 # Key-sample cap for the acked-vs-retained write-loss audit.
 CONSISTENCY_SAMPLE = 200
@@ -87,15 +84,15 @@ def run_scenario(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResu
     """Execute ``spec`` once; ``seed`` overrides the spec's default."""
     seed = spec.seed if seed is None else seed
     sim = Simulation(seed=seed, latency_model=spec.latency.build(), loss_rate=spec.loss_rate)
-    cluster = _deploy(spec, sim)
+    backend = get_backend(spec.stack).deploy(spec, sim)
     metrics: Dict[str, float] = {}
 
-    cluster_size_before = len(cluster.servers)
-    metrics["converged"] = float(_converge(spec, cluster))
+    cluster_size_before = len(backend.servers)
+    metrics["converged"] = float(backend.converge(spec))
 
     workload = spec.workload.build()
     runner = WorkloadRunner(
-        cluster,
+        backend,
         workload,
         seed=seed,
         op_timeout=spec.workload.op_timeout,
@@ -104,7 +101,7 @@ def run_scenario(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResu
     load_stats = runner.run_load_phase()
     sim.run_for(spec.settle)
 
-    controller, nemesis, probe = _inject_faults_and_churn(spec, cluster)
+    controller, nemesis, probe = _inject_faults_and_churn(spec, backend)
 
     txn_stats: Optional[RunStats] = None
     if spec.workload.operation_count > 0:
@@ -117,10 +114,10 @@ def run_scenario(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResu
         # The transaction phase ended before the fault schedule did:
         # keep running so every scheduled heal fires.
         sim.run_until(nemesis.end_time)
-    _measure_heal(spec, cluster, probe, metrics)
+    _measure_heal(spec, backend, probe, metrics)
     sim.run_for(spec.cooldown)
 
-    _collect(spec, cluster, controller, nemesis, runner, load_stats, txn_stats, workload, metrics)
+    _collect(spec, backend, controller, nemesis, runner, load_stats, txn_stats, workload, metrics)
     metrics["population_before_churn"] = float(cluster_size_before)
     metrics["sim_time"] = _r(sim.now)
     metrics["events_processed"] = float(sim.scheduler.events_processed)
@@ -141,31 +138,16 @@ def run_sweep(spec: ScenarioSpec, seeds: Sequence[int]) -> SweepResult:
 # ---------------------------------------------------------------- internals
 
 
-def _deploy(spec: ScenarioSpec, sim: Simulation) -> Cluster:
-    if spec.stack == "dht":
-        return DhtCluster(n=spec.nodes, replication=spec.replication, sim=sim)
-    config = DataFlasksConfig(num_slices=spec.num_slices, **spec.config)
-    return DataFlasksCluster(n=spec.nodes, config=config, sim=sim)
-
-
-def _converge(spec: ScenarioSpec, cluster: Cluster) -> bool:
-    if isinstance(cluster, DhtCluster):
-        cluster.stabilize(spec.warmup)
-        return cluster.ring_is_consistent()
-    cluster.warm_up(spec.warmup)
-    return cluster.wait_for_slices(timeout=spec.convergence_timeout)
-
-
 class _HealProbe:
     """Measures time-to-heal convergence *as it happens*: armed by the
-    nemesis at every heal, it polls the overlay-is-whole predicate on
-    the scheduler, so the measurement runs concurrently with the
+    nemesis at every heal, it polls the backend's ``converged`` predicate
+    on the scheduler, so the measurement runs concurrently with the
     transaction phase instead of starting after the workload ends (which
     would inflate heal_time by the remaining workload runtime)."""
 
-    def __init__(self, cluster: Cluster, interval: float = 0.5) -> None:
-        self.sim = cluster.sim
-        self.predicate = _converged_predicate(cluster)
+    def __init__(self, backend: StoreBackend, interval: float = 0.5) -> None:
+        self.sim = backend.sim
+        self.predicate = backend.converged
         self.interval = interval
         self.anchor: Optional[float] = None
         self.heal_time: Optional[float] = None
@@ -187,41 +169,25 @@ class _HealProbe:
             self.sim.scheduler.schedule(self.interval, self._check)
 
 
-def _converged_predicate(cluster: Cluster):
-    """'The overlay looks whole again': consistent ring for the DHT
-    stack, every slice populated and every node placed for core."""
-    if isinstance(cluster, DhtCluster):
-        return cluster.ring_is_consistent
-
-    def converged() -> bool:
-        alive = [s for s in cluster.servers if s.alive]
-        if not alive or unassigned_fraction(alive) > 0:
-            return False
-        hist = slice_histogram(alive)
-        return all(hist.get(i, 0) > 0 for i in range(cluster.config.num_slices))
-
-    return converged
-
-
 def _inject_faults_and_churn(
-    spec: ScenarioSpec, cluster: Cluster
+    spec: ScenarioSpec, backend: StoreBackend
 ) -> Tuple[Optional[ChurnController], Optional[Nemesis], Optional[_HealProbe]]:
     """Arm the fault phase: one shared controller feeds both the nemesis
     schedule and spec-level churn, so fault-driven crashes/recoveries and
     churn land in the same join/leave accounting."""
     if spec.churn is None and not spec.faults:
         return None, None, None
-    controller = cluster.churn_controller()
+    controller = backend.churn_controller()
     nemesis: Optional[Nemesis] = None
     probe: Optional[_HealProbe] = None
     if spec.faults:
-        nemesis = Nemesis(cluster.sim, cluster=cluster, controller=controller)
+        nemesis = Nemesis(backend.sim, cluster=backend, controller=controller)
         if "consistency" in spec.metrics:
-            probe = _HealProbe(cluster)
+            probe = _HealProbe(backend)
             nemesis.on_heal = probe.arm
         nemesis.schedule([f.build() for f in spec.faults])
     if spec.churn is not None:
-        cluster.sim.run_for(spec.churn.start)
+        backend.sim.run_for(spec.churn.start)
         if spec.churn.kind == "correlated":
             controller.kill_fraction(spec.churn.fraction)
         else:
@@ -232,7 +198,7 @@ def _inject_faults_and_churn(
 
 def _measure_heal(
     spec: ScenarioSpec,
-    cluster: Cluster,
+    backend: StoreBackend,
     probe: Optional[_HealProbe],
     metrics: Dict[str, float],
 ) -> None:
@@ -240,7 +206,7 @@ def _measure_heal(
     the overlay has not reconverged by the time the schedule ends."""
     if probe is None or probe.anchor is None:
         return
-    sim = cluster.sim
+    sim = backend.sim
     if probe.heal_time is None:
         sim.run_until_condition(
             lambda: probe.heal_time is not None, timeout=spec.convergence_timeout
@@ -254,7 +220,7 @@ def _measure_heal(
 
 def _collect(
     spec: ScenarioSpec,
-    cluster: Cluster,
+    backend: StoreBackend,
     controller: Optional[ChurnController],
     nemesis: Optional[Nemesis],
     runner: WorkloadRunner,
@@ -277,53 +243,31 @@ def _collect(
                 metrics[f"latency_{kind}_p99"] = _r(summary["p99"])
             metrics["txn_messages_per_node"] = _r(txn_stats.messages_per_node)
     if "messages" in groups:
-        load = cluster.server_message_load()
+        load = backend.server_message_load()
         metrics["messages_sent_per_node"] = _r(load["sent"])
         metrics["messages_received_per_node"] = _r(load["received"])
         metrics["messages_per_node"] = _r(load["handled"])
     if "population" in groups:
-        metrics["population_alive"] = float(sum(1 for s in cluster.servers if s.alive))
-        metrics["population_total"] = float(len(cluster.servers))
+        metrics["population_alive"] = float(sum(1 for s in backend.servers if s.alive))
+        metrics["population_total"] = float(len(backend.servers))
         metrics["churn_joins"] = float(controller.joins if controller else 0)
         metrics["churn_leaves"] = float(controller.leaves if controller else 0)
         metrics["churn_recoveries"] = float(controller.recoveries if controller else 0)
     if "consistency" in groups:
         stale = load_stats.stale_reads + (txn_stats.stale_reads if txn_stats else 0)
         metrics["stale_reads"] = float(stale)
-        avail = runner.availability.summary(now=cluster.sim.now)
+        avail = runner.availability.summary(now=backend.sim.now)
         metrics["unavail_keys"] = avail["keys"]
         metrics["unavail_windows"] = avail["windows"]
         metrics["unavail_window_mean"] = _r(avail["mean"])
         metrics["unavail_window_max"] = _r(avail["max"])
         losses = count_write_losses(
-            cluster, runner.acked_versions, sample=CONSISTENCY_SAMPLE
+            backend, runner.acked_versions, sample=CONSISTENCY_SAMPLE
         )
         metrics["lost_updates"] = losses["lost_updates"]
         metrics["lost_objects"] = losses["lost_objects"]
         metrics["faults_injected"] = float(nemesis.injected if nemesis else 0)
         metrics["faults_healed"] = float(nemesis.healed if nemesis else 0)
-    if spec.stack == "core":
-        alive = [s for s in cluster.servers if s.alive]
-        if "slices" in groups and alive:
-            hist = slice_histogram(alive)
-            populated = [hist.get(i, 0) for i in range(cluster.config.num_slices)]
-            metrics["slices_total"] = float(cluster.config.num_slices)
-            metrics["slices_empty"] = float(sum(1 for c in populated if c == 0))
-            metrics["slice_population_min"] = float(min(populated))
-            metrics["slice_population_max"] = float(max(populated))
-            metrics["slice_unassigned_fraction"] = _r(unassigned_fraction(alive))
-        if "replication" in groups:
-            sample = [
-                workload.key_for(i)
-                for i in range(min(workload.record_count, REPLICATION_SAMPLE))
-            ]
-            levels = [cluster.replication_level(key) for key in sample]
-            metrics["replication_mean"] = _r(mean(levels))
-            metrics["replication_min"] = float(min(levels)) if levels else 0.0
-            metrics["replication_lost"] = float(sum(1 for l in levels if l == 0))
-
-
-def _r(value: float) -> float:
-    """Round for stable, readable summaries (determinism does not depend
-    on this, but 17-digit floats make tables unreadable)."""
-    return round(float(value), 6)
+    # Stack-specific blocks (slice health, ring health, replication) come
+    # from the backend, never from stack checks here.
+    backend.collect_metrics(groups, workload, metrics)

@@ -1,7 +1,8 @@
 """Declarative scenario specifications.
 
 A :class:`ScenarioSpec` is a complete, serialisable description of one
-experiment: which stack to deploy (DATAFLASKS or the Chord baseline),
+experiment: which storage stack to deploy (any backend registered with
+:mod:`repro.backends` — DATAFLASKS, the Chord baseline, the oracle),
 how big, over what network, under what churn and fault schedule
 (``[[faults]]`` — see :mod:`repro.faults.spec`), driven by which
 workload, and which metric groups to collect. Specs round-trip through plain
@@ -232,10 +233,14 @@ class ScenarioSpec:
                -> [advance churn.start; inject churn]
                -> transaction phase -> cooldown -> collect metrics
 
-    :param stack: ``core`` (DATAFLASKS) or ``dht`` (Chord baseline).
+    :param stack: name of a registered storage backend — ``core``
+        (DATAFLASKS), ``dht`` (Chord baseline), ``oracle`` (idealized
+        ground-truth store), or anything registered via
+        :func:`repro.backends.register_backend`. Unknown names raise a
+        :class:`~repro.errors.ConfigurationError` listing the registry.
     :param nodes: server population at deployment.
-    :param num_slices: DATAFLASKS slice count ``k`` (ignored for dht).
-    :param replication: Chord replica count (ignored for core).
+    :param num_slices: DATAFLASKS slice count ``k`` (core-only).
+    :param replication: Chord replica count (dht-only).
     :param config: extra :class:`~repro.core.config.DataFlasksConfig`
         field overrides, applied on top of the size-scaled defaults.
     :param faults: the ``[[faults]]`` nemesis schedule; each entry's
@@ -245,9 +250,10 @@ class ScenarioSpec:
         fault has healed, even when the transaction phase ends earlier.
     :param metrics: metric groups to collect; subset of
         ``workload, messages, population, slices, replication,
-        consistency`` (slices/replication are core-only and skipped for
-        dht; consistency adds the stale-read / lost-update /
-        unavailability-window / time-to-heal accounting).
+        consistency``. Stack-specific groups a backend has no equivalent
+        for are skipped silently (``slices`` is core-only; ``replication``
+        works on every backend; consistency adds the stale-read /
+        lost-update / unavailability-window / time-to-heal accounting).
     """
 
     name: str
@@ -270,8 +276,13 @@ class ScenarioSpec:
     metrics: Tuple[str, ...] = ("workload", "messages", "population", "slices")
 
     def __post_init__(self) -> None:
-        if self.stack not in ("core", "dht"):
-            raise ConfigurationError(f"unknown stack {self.stack!r}")
+        # Resolve the stack against the backend registry so an unknown
+        # value fails loudly at spec-construction time with the list of
+        # registered backends (lazy import: backends pull in the cluster
+        # facades, which this description-only module must not).
+        from repro.backends import get_backend
+
+        get_backend(self.stack)
         if self.nodes <= 0:
             raise ConfigurationError("nodes must be positive")
         if self.num_slices <= 0 or self.replication <= 0:

@@ -56,7 +56,9 @@ def percentile(values: Iterable[float], p: float) -> float:
     if lo == hi:
         return vals[lo]
     frac = rank - lo
-    return vals[lo] * (1 - frac) + vals[hi] * frac
+    # lo + frac*(hi-lo) rather than the symmetric blend: it is exact for
+    # equal endpoints (the blend underflows to 0.0 on denormal values).
+    return vals[lo] + frac * (vals[hi] - vals[lo])
 
 
 class Histogram:

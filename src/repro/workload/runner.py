@@ -1,8 +1,8 @@
 """Closed-loop workload runner.
 
-Drives a :class:`~repro.workload.ycsb.CoreWorkload` against a
-:class:`~repro.core.cluster.DataFlasksCluster` through one client,
-assigning the totally ordered versions the DATADROPLETS layer would
+Drives a :class:`~repro.workload.ycsb.CoreWorkload` against any storage
+stack through one client, assigning the totally ordered versions the
+DATADROPLETS layer would
 (inserts start at version 1, each update bumps the key's version), and
 collects the statistics the benches report: success rates, latency
 percentiles, and — the paper's metric — messages per server node.
@@ -23,8 +23,6 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.client import DataFlasksClient
-from repro.core.cluster import DataFlasksCluster
 from repro.sim.metrics import AvailabilityTracker, mean, percentile
 from repro.workload.ycsb import INSERT, READ, RMW, SCAN, UPDATE, CoreWorkload, Operation
 
@@ -78,13 +76,20 @@ class RunStats:
 
 
 class WorkloadRunner:
-    """Runs load and transaction phases against a cluster."""
+    """Runs load and transaction phases against a storage stack.
+
+    ``cluster`` is duck-typed: a
+    :class:`~repro.backends.base.StoreBackend` or any deployment facade
+    exposing ``sim``, ``new_client()`` and ``server_message_load()``,
+    whose clients speak the :class:`~repro.core.client.PendingOp`
+    protocol — the runner never branches on the concrete stack.
+    """
 
     def __init__(
         self,
-        cluster: DataFlasksCluster,
+        cluster,
         workload: CoreWorkload,
-        client: Optional[DataFlasksClient] = None,
+        client=None,
         seed: int = 0,
         op_timeout: float = 30.0,
         acks_required: int = 1,

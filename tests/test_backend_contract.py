@@ -1,0 +1,205 @@
+"""The backend contract: one behavioural suite, every registered backend.
+
+Anything registered with :func:`repro.backends.register_backend` is
+automatically parametrized through the full experiment-pipeline surface:
+deploy, convergence, put/get round-trips, replication reporting, churn
+kill/recover, fault scheduling, and deterministic same-seed replay.
+Adding a backend means passing this file — no other test changes."""
+
+import pytest
+
+from repro.backends import (
+    BackendRegistry,
+    StoreBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import FaultSpec, ScenarioSpec, WorkloadSpec
+from repro.scenarios.runner import run_scenario
+from repro.sim.simulator import Simulation
+
+EXPECTED_BUILTINS = {"core", "dht", "oracle"}
+
+
+def contract_spec(stack: str, **overrides) -> ScenarioSpec:
+    """A small, fast spec for ``stack`` (generous warmup so every stack
+    converges well inside the budget)."""
+    defaults = dict(
+        name=f"contract-{stack}",
+        stack=stack,
+        nodes=24,
+        num_slices=3,
+        replication=3,
+        warmup=10.0,
+        settle=6.0,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+def deployed(stack: str, seed: int = 3):
+    spec = contract_spec(stack)
+    backend = get_backend(stack).deploy(spec, Simulation(seed=seed))
+    assert backend.converge(spec), f"{stack} did not converge"
+    return spec, backend
+
+
+# ---------------------------------------------------------------- registry
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert EXPECTED_BUILTINS <= set(list_backends())
+
+    def test_lookup_returns_backend_class(self):
+        for name in list_backends():
+            cls = get_backend(name)
+            assert issubclass(cls, StoreBackend)
+            assert cls.name == name
+            assert cls.description
+
+    def test_unknown_backend_error_lists_registered(self):
+        with pytest.raises(ConfigurationError, match="registered backends"):
+            get_backend("no-such-stack")
+
+    def test_spec_rejects_unknown_stack_with_catalogue(self):
+        with pytest.raises(ConfigurationError, match="core"):
+            ScenarioSpec(name="x", stack="no-such-stack")
+
+    def test_duplicate_registration_rejected(self):
+        registry = BackendRegistry()
+        decorate = registry.register("dup")
+        decorate(type("A", (StoreBackend,), {}))
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register("dup")(type("B", (StoreBackend,), {}))
+
+    def test_alias_registration_cannot_rename_class(self):
+        # `name` is shared class state: re-registering an already-named
+        # backend under an alias must fail rather than silently renaming
+        # it in every other registry.
+        core = get_backend("core")
+        registry = BackendRegistry()
+        with pytest.raises(ConfigurationError, match="already named"):
+            registry.register("alias")(core)
+        assert core.name == "core"
+        # Same name into another registry is fine (no rename involved).
+        registry.register("core")(core)
+        assert registry.get("core") is core
+
+    def test_custom_registration_is_visible_everywhere(self):
+        # A scratch registry mirrors the decorator flow end to end.
+        registry = BackendRegistry()
+
+        @registry.register("toy")
+        class ToyBackend(StoreBackend):
+            description = "toy"
+
+        assert registry.get("toy") is ToyBackend
+        assert ToyBackend.name == "toy"
+        assert registry.names() == ["toy"]
+        assert "toy" in registry
+
+
+# ---------------------------------------------------------------- contract
+
+
+@pytest.fixture(scope="module", params=sorted(EXPECTED_BUILTINS))
+def stack_deployment(request):
+    """One converged deployment per backend, shared across the
+    read-only contract checks below."""
+    return request.param, *deployed(request.param)
+
+
+class TestDeployAndConverge:
+    def test_deploys_requested_population(self, stack_deployment):
+        _, spec, backend = stack_deployment
+        assert len(backend.servers) == spec.nodes
+        assert sorted(backend.directory()) == sorted(s.id for s in backend.servers)
+
+    def test_converged_predicate_true_after_converge(self, stack_deployment):
+        _, _, backend = stack_deployment
+        assert backend.converged() is True
+
+
+class TestRoundTrip:
+    def test_put_get_round_trip(self, stack_deployment):
+        stack, _, backend = stack_deployment
+        client = backend.new_client()
+        put = backend.put_sync(client, f"{stack}:k", b"v1", version=1)
+        assert put.succeeded, f"{stack} put failed: {put.error}"
+        got = backend.get_sync(client, f"{stack}:k")
+        assert got.succeeded and got.value == b"v1"
+        assert got.result_version == 1
+
+    def test_replication_level_counts_alive_holders(self, stack_deployment):
+        stack, _, backend = stack_deployment
+        client = backend.new_client()
+        backend.put_sync(client, f"{stack}:replicated", b"v", version=1)
+        backend.sim.run_for(15)  # let replication settle
+        assert backend.replication_level(f"{stack}:replicated") >= 1
+
+    def test_server_message_load_counts_servers(self, stack_deployment):
+        _, _, backend = stack_deployment
+        load = backend.server_message_load()
+        assert load["handled"] > 0
+
+
+class TestChurn:
+    @pytest.mark.parametrize("stack", sorted(EXPECTED_BUILTINS))
+    def test_kill_and_recover_round_trip(self, stack):
+        _, backend = deployed(stack, seed=11)
+        population = len(backend.servers)
+        controller = backend.churn_controller()
+        victim = controller.kill()
+        assert victim is not None and not victim.alive
+        assert len(backend.directory()) == population - 1
+        recovered = controller.recover(victim.id)
+        assert recovered is victim and victim.alive
+        assert len(backend.directory()) == population
+        assert controller.leaves == 1 and controller.recoveries == 1
+
+
+# ------------------------------------------------------------- determinism
+
+
+@pytest.mark.parametrize("stack", sorted(EXPECTED_BUILTINS))
+def test_same_seed_replay_with_faults_is_byte_identical(stack):
+    """The reproducibility contract holds per backend, fault schedule
+    included — the acceptance criterion for plugging in a new stack."""
+    spec = contract_spec(
+        stack,
+        faults=[FaultSpec(kind="crash_recover", fraction=0.25, start=1.0, duration=6.0)],
+        workload=WorkloadSpec(preset="ycsb-a", record_count=6, operation_count=12),
+        metrics=("workload", "messages", "population", "replication", "consistency"),
+    )
+    first = run_scenario(spec, seed=5)
+    second = run_scenario(spec, seed=5)
+    assert first.summary_json() == second.summary_json()
+    assert first.metrics["converged"] == 1.0
+    assert first.metrics["faults_injected"] == 1.0
+    assert first.metrics["faults_healed"] == 1.0
+
+
+def test_oracle_is_a_consistency_ground_truth():
+    """The whole point of the third backend: under faults it may lose
+    availability but never consistency."""
+    spec = contract_spec(
+        "oracle",
+        faults=[
+            FaultSpec(kind="crash_recover", fraction=0.3, start=1.0, duration=8.0),
+            FaultSpec(kind="burst_loss", loss=0.4, start=2.0, duration=4.0),
+        ],
+        workload=WorkloadSpec(preset="ycsb-a", record_count=8, operation_count=30),
+        metrics=("workload", "population", "replication", "consistency"),
+    )
+    metrics = run_scenario(spec, seed=9).metrics
+    assert metrics["stale_reads"] == 0.0
+    assert metrics["lost_updates"] == 0.0
+    assert metrics["lost_objects"] == 0.0
+    # Full replication: every alive server holds every stored key.
+    assert metrics["replication_mean"] == metrics["population_alive"]
+    # No overlay to repair: heal is instantaneous.
+    assert metrics["heal_converged"] == 1.0
+    assert metrics["heal_time"] <= 0.5

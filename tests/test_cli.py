@@ -54,6 +54,19 @@ def test_check_command_healthy(capsys):
 SMALL_RUN = ["--nodes", "20", "--records", "5", "--ops", "8"]
 
 
+def test_backends_list(capsys):
+    assert main(["backends", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("core", "dht", "oracle"):
+        assert name in out
+    assert "ground-truth" in out  # descriptions shown
+
+
+def test_backends_requires_action():
+    with pytest.raises(SystemExit):
+        main(["backends"])
+
+
 def test_scenarios_list(capsys):
     assert main(["scenarios", "list"]) == 0
     out = capsys.readouterr().out
@@ -110,8 +123,28 @@ def test_scenarios_validate_bundled_name(capsys):
     assert main(["scenarios", "validate", "asymmetric-partition"]) == 0
     out = capsys.readouterr().out
     assert "spec OK: asymmetric-partition" in out
+    assert "backend: core" in out
     assert "partition" in out
     assert "heals_at" in out
+
+
+def test_scenarios_validate_rejects_unregistered_stack(tmp_path, capsys):
+    path = tmp_path / "badstack.toml"
+    path.write_text('name = "badstack"\nstack = "cloud"\n')
+    assert main(["scenarios", "validate", str(path)]) == 2
+    out = capsys.readouterr().out
+    assert "invalid spec" in out
+    # The error names what *is* registered.
+    for name in ("core", "dht", "oracle"):
+        assert name in out
+
+
+def test_scenarios_run_oracle_stack(capsys):
+    argv = ["scenarios", "run", "oracle-baseline", "--seed", "2"] + SMALL_RUN
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "scenario: oracle-baseline (seed 2)" in out
+    assert "stale_reads" in out
 
 
 def test_scenarios_validate_spec_file_with_faults(tmp_path, capsys):

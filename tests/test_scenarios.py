@@ -31,8 +31,11 @@ EXPECTED_BUNDLED = {
     "catastrophic-failure",
     "crash-recover-wave",
     "dht-baseline",
+    "dht-crash-recover",
     "flash-crowd",
     "heterogeneous-latency",
+    "oracle-baseline",
+    "oracle-fault-wave",
     "scale-5k",
     "skewed-ycsb",
     "slow-quartile",
