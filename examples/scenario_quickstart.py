@@ -35,8 +35,9 @@ def main() -> None:
     ):
         print(f"  {name:20s} {result.metrics[name]}")
 
-    print("\nsweep over seeds 0..2:")
-    sweep = run_sweep(spec, seeds=[0, 1, 2])
+    print("\nsweep over seeds 0..2 (2 worker processes; aggregates are")
+    print("byte-identical to a serial run whatever the job count):")
+    sweep = run_sweep(spec, seeds=[0, 1, 2], jobs=2)
     rows = [
         row
         for row in aggregate_table_rows(sweep.aggregate)

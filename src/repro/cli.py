@@ -9,7 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro backends list        # registered storage backends
     python -m repro scenarios list       # bundled scenario catalogue
     python -m repro scenarios run catastrophic-failure --seed 7
-    python -m repro scenarios sweep baseline --seeds 0 1 2
+    python -m repro scenarios sweep baseline --seeds 0 1 2 --jobs 4
     python -m repro scenarios validate my-spec.toml  # check without running
 
 Each subcommand prints the same tables the benches emit, so the CLI is
@@ -99,6 +99,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_selection(sweep)
     sweep.add_argument(
         "--seeds", type=int, nargs="+", default=[0, 1, 2], help="seeds to run"
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes to spread the seeds over (default 1, serial; "
+        "aggregates are byte-identical whatever the job count)",
+    )
+    sweep.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the canonical JSON aggregate instead of a table "
+        "(byte-identical across runs and across --jobs values)",
     )
 
     validate = action.add_parser(
@@ -278,7 +291,10 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         return 0
 
     # sweep
-    result = run_sweep(spec, seeds=args.seeds)
+    result = run_sweep(spec, seeds=args.seeds, jobs=args.jobs)
+    if args.summary:
+        print(result.summary_json())
+        return 0
     print(f"scenario: {result.scenario} over seeds {result.seeds}")
     print(
         rows_to_table(

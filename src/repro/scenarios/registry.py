@@ -16,6 +16,8 @@ Bundled set (see each file's ``description`` for the full story):
 ``heterogeneous-latency`` lognormal WAN latency plus message loss
 ``dht-baseline``          the Chord stack under the catastrophic failure
 ``scale-5k``              the paper-scale 5,000-node write-only run
+``scale-20k``             4x the paper's ceiling — the engine-overhaul
+                          headroom yardstick (very slow at full size)
 ``asymmetric-partition``  a one-way partition isolates 30% mid-run, then heals
 ``slow-quartile``         a quarter of the servers get slow, lossy links
 ``crash-recover-wave``    30% crash and later restart with retained stores

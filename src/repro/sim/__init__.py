@@ -28,7 +28,7 @@ from repro.sim.network import (
 from repro.sim.node import Node, PeriodicTask, Service, SimContext
 from repro.sim.rng import RngRegistry, derive_seed
 from repro.sim.scheduler import Event, Scheduler
-from repro.sim.simulator import Simulation
+from repro.sim.simulator import Simulation, relaxed_gc
 
 __all__ = [
     "AvailabilityTracker",
@@ -48,6 +48,7 @@ __all__ = [
     "Service",
     "SimContext",
     "Simulation",
+    "relaxed_gc",
     "stdev",
     "UniformLatency",
     "derive_seed",

@@ -13,7 +13,6 @@ counters use ``node_id = None``.
 from __future__ import annotations
 
 import math
-from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
@@ -148,19 +147,41 @@ class AvailabilityTracker:
 
 
 class MetricsRegistry:
-    """Per-node counters and named histograms for one simulation run."""
+    """Per-node counters and named histograms for one simulation run.
+
+    ``inc`` sits on the simulation's hottest path (every message send and
+    delivery hits it at least twice), so counters are plain nested dicts —
+    no ``defaultdict`` factory machinery — and heavy callers can grab the
+    live inner dict once via :meth:`counter` and update it directly.
+    """
 
     def __init__(self) -> None:
-        self._counters: Dict[str, Dict[Optional[int], float]] = defaultdict(
-            lambda: defaultdict(float)
-        )
+        self._counters: Dict[str, Dict[Optional[int], float]] = {}
         self._histograms: Dict[str, Histogram] = {}
 
     # ----------------------------------------------------------- counters
 
     def inc(self, name: str, node: Optional[int] = None, by: float = 1.0) -> None:
         """Increment counter ``name`` for ``node`` (or the global slot)."""
-        self._counters[name][node] += by
+        counters = self._counters
+        slots = counters.get(name)
+        if slots is None:
+            slots = counters[name] = {}
+        slots[node] = slots.get(node, 0.0) + by
+
+    def counter(self, name: str) -> Dict[Optional[int], float]:
+        """The live inner dict for counter ``name`` (created if missing).
+
+        Hot paths cache this and update slots in place
+        (``slots[node] = slots.get(node, 0.0) + 1.0``), skipping the
+        per-call name lookup :meth:`inc` pays. The mapping is
+        ``node_id -> value`` with ``None`` as the global slot, exactly
+        what :meth:`get`/:meth:`total`/:meth:`per_node` read.
+        """
+        slots = self._counters.get(name)
+        if slots is None:
+            slots = self._counters[name] = {}
+        return slots
 
     def get(self, name: str, node: Optional[int] = None) -> float:
         """Current value of counter ``name`` for ``node`` (0.0 if unset)."""
@@ -194,8 +215,14 @@ class MetricsRegistry:
         return mean(values.values())
 
     def counter_names(self) -> List[str]:
-        """All counter names seen so far, sorted."""
-        return sorted(self._counters)
+        """All counter names with at least one recorded slot, sorted.
+
+        Names whose inner dict is still empty are excluded: hot paths
+        pre-create inner dicts via :meth:`counter` before any increment
+        happens, and a counter that never fired should stay invisible to
+        the reporting surface (as it was before :meth:`counter` existed).
+        """
+        return sorted(name for name, slots in self._counters.items() if slots)
 
     # --------------------------------------------------------- histograms
 

@@ -29,6 +29,17 @@ seed), **never** from the global :mod:`random` module state, so fault
 schedules replay byte-identically for a given spec + seed. The per-link
 condition tables are plain dicts keyed by node id, mutated only through
 the methods below; iteration order never influences behaviour.
+
+Hot path: :meth:`Network.send` runs once per simulated message, so it
+avoids all per-call allocation — counter keys per message type are
+interned once into ``_type_cache`` (no f-string per send) and the
+always-hit counters update cached inner dicts directly. When no fault
+machinery is active (``_fault_free``, maintained by every partition /
+block / condition mutator) the partition and condition lookups are
+skipped entirely. The fast path consumes the RNG stream identically to
+the slow path — loss is sampled iff the effective loss is positive, and
+a run with only zero-impact fault layers makes exactly the same
+drop/latency decisions as one with none (see DESIGN.md, "Performance").
 """
 
 from __future__ import annotations
@@ -141,6 +152,37 @@ class Network:
         self._condition_layers: Dict[int, Tuple[FrozenSet[int], float, float]] = {}
         self._burst_layers: Dict[int, float] = {}
         self._next_token = 0
+        # True while no partition/block/condition/burst machinery is
+        # active; every mutator below recomputes it via _refresh_fast_path.
+        self._fault_free = True
+        # Interned per-message-type counter state:
+        # type -> (kind, sent slots, received slots, partition-drop key,
+        # loss-drop key). Built once per type, reused for every send.
+        self._type_cache: Dict[type, Tuple[str, Dict, Dict, str, str]] = {}
+        self._sent_slots = metrics.counter("msg.sent")
+        self._recv_slots = metrics.counter("msg.received")
+
+    def _intern_type(self, msg_type: type) -> Tuple[str, Dict, Dict, str, str]:
+        kind = msg_type.__name__
+        entry = (
+            kind,
+            self.metrics.counter(f"msg.sent.{kind}"),
+            self.metrics.counter(f"msg.received.{kind}"),
+            f"msg.dropped.partition.{kind}",
+            f"msg.dropped.loss.{kind}",
+        )
+        self._type_cache[msg_type] = entry
+        return entry
+
+    def _refresh_fast_path(self) -> None:
+        self._fault_free = not (
+            self._partitioned
+            or self._blocks
+            or self._node_conditions
+            or self._link_conditions
+            or self._condition_layers
+            or self._burst_layers
+        )
 
     # ---------------------------------------------------------- membership
 
@@ -165,12 +207,24 @@ class Network:
         """Partition the network: messages between different groups drop.
 
         Nodes not mentioned in any group form an implicit extra group.
+        A node listed in more than one group is a contradiction (it
+        cannot be on both sides of a cut) and raises
+        :class:`~repro.errors.ConfigurationError` instead of silently
+        keeping the last assignment.
         """
-        self._group_of = {}
+        group_of: Dict[int, int] = {}
         for index, group in enumerate(groups):
             for node_id in group:
-                self._group_of[node_id] = index
-        self._partitioned = bool(self._group_of)
+                previous = group_of.get(node_id)
+                if previous is not None and previous != index:
+                    raise ConfigurationError(
+                        f"node {node_id} appears in partition groups "
+                        f"{previous} and {index}; groups must be disjoint"
+                    )
+                group_of[node_id] = index
+        self._group_of = group_of
+        self._partitioned = bool(group_of)
+        self._refresh_fast_path()
 
     def heal_partitions(self) -> None:
         """Remove any group partition and directed blocks; full
@@ -179,6 +233,7 @@ class Network:
         self._group_of = {}
         self._partitioned = False
         self._blocks.clear()
+        self._refresh_fast_path()
 
     def block(self, src_ids: Iterable[int], dst_ids: Iterable[int]) -> int:
         """Add a directed blackhole: messages from ``src_ids`` to
@@ -191,11 +246,13 @@ class Network:
         rule_id = self._next_block_id
         self._next_block_id += 1
         self._blocks[rule_id] = (frozenset(src_ids), frozenset(dst_ids))
+        self._refresh_fast_path()
         return rule_id
 
     def unblock(self, rule_id: int) -> None:
         """Remove one directed blackhole rule (idempotent)."""
         self._blocks.pop(rule_id, None)
+        self._refresh_fast_path()
 
     def _crosses_partition(self, src: int, dst: int) -> bool:
         if self._partitioned:
@@ -219,6 +276,7 @@ class Network:
         self._node_conditions[node_id] = self._checked_conditions(loss, extra_latency)
         if self._node_conditions[node_id] == (0.0, 0.0):
             del self._node_conditions[node_id]
+        self._refresh_fast_path()
 
     def set_link_conditions(
         self, src: int, dst: int, loss: float = 0.0, extra_latency: float = 0.0
@@ -229,12 +287,15 @@ class Network:
         self._link_conditions[(src, dst)] = self._checked_conditions(loss, extra_latency)
         if self._link_conditions[(src, dst)] == (0.0, 0.0):
             del self._link_conditions[(src, dst)]
+        self._refresh_fast_path()
 
     def clear_node_conditions(self, node_id: int) -> None:
         self._node_conditions.pop(node_id, None)
+        self._refresh_fast_path()
 
     def clear_link_conditions(self, src: int, dst: int) -> None:
         self._link_conditions.pop((src, dst), None)
+        self._refresh_fast_path()
 
     def clear_conditions(self) -> None:
         """Drop every degradation override: per-node, per-link, layered
@@ -243,6 +304,7 @@ class Network:
         self._link_conditions.clear()
         self._condition_layers.clear()
         self._burst_layers.clear()
+        self._refresh_fast_path()
 
     def add_conditions(
         self, node_ids: Iterable[int], loss: float = 0.0, extra_latency: float = 0.0
@@ -259,11 +321,13 @@ class Network:
         token = self._next_token
         self._next_token += 1
         self._condition_layers[token] = (frozenset(node_ids),) + conditions
+        self._refresh_fast_path()
         return token
 
     def remove_conditions(self, token: int) -> None:
         """Remove one degradation layer (idempotent)."""
         self._condition_layers.pop(token, None)
+        self._refresh_fast_path()
 
     def add_burst_loss(self, rate: float) -> int:
         """Open a burst-loss window: a global extra drop chance combined
@@ -275,11 +339,13 @@ class Network:
         token = self._next_token
         self._next_token += 1
         self._burst_layers[token] = rate
+        self._refresh_fast_path()
         return token
 
     def remove_burst_loss(self, token: int) -> None:
         """Close one burst-loss window (idempotent)."""
         self._burst_layers.pop(token, None)
+        self._refresh_fast_path()
 
     @staticmethod
     def _checked_conditions(loss: float, extra_latency: float) -> Tuple[float, float]:
@@ -291,40 +357,47 @@ class Network:
 
     def _loss_for(self, src: int, dst: int) -> float:
         """Effective drop probability for one message on ``src -> dst``:
-        every active condition is an independent Bernoulli drop."""
-        loss = self.loss_rate
-        if not (
-            self._burst_layers
-            or self._node_conditions
-            or self._link_conditions
-            or self._condition_layers
-        ):
-            return loss
-        extras = [
-            self._node_conditions.get(src, _NO_CONDITIONS)[0],
-            self._node_conditions.get(dst, _NO_CONDITIONS)[0],
-            self._link_conditions.get((src, dst), _NO_CONDITIONS)[0],
-        ]
-        extras.extend(self._burst_layers.values())
-        for members, layer_loss, _ in self._condition_layers.values():
-            if src in members or dst in members:
-                extras.append(layer_loss)
-        for extra in extras:
-            if extra:
-                loss = 1.0 - (1.0 - loss) * (1.0 - extra)
-        return loss
+        every active condition is an independent Bernoulli drop.
+
+        Composed in place (``keep *= 1 - p_i``) — no intermediate list,
+        this runs per message whenever any fault machinery is active.
+        When every active condition is zero-impact, ``keep`` stays exactly
+        1.0 and the base ``loss_rate`` is returned bit-for-bit, so the
+        slow path's drop threshold equals the fast path's (the
+        fast/slow-equivalence contract)."""
+        keep = 1.0
+        node_conditions = self._node_conditions
+        if node_conditions:
+            keep *= (1.0 - node_conditions.get(src, _NO_CONDITIONS)[0]) * (
+                1.0 - node_conditions.get(dst, _NO_CONDITIONS)[0]
+            )
+        if self._link_conditions:
+            keep *= 1.0 - self._link_conditions.get((src, dst), _NO_CONDITIONS)[0]
+        if self._burst_layers:
+            for rate in self._burst_layers.values():
+                keep *= 1.0 - rate
+        if self._condition_layers:
+            for members, layer_loss, _ in self._condition_layers.values():
+                if src in members or dst in members:
+                    keep *= 1.0 - layer_loss
+        if keep == 1.0:
+            return self.loss_rate
+        return 1.0 - (1.0 - self.loss_rate) * keep
 
     def _extra_latency_for(self, src: int, dst: int) -> float:
-        if not (self._node_conditions or self._link_conditions or self._condition_layers):
-            return 0.0
-        extra = (
-            self._node_conditions.get(src, _NO_CONDITIONS)[1]
-            + self._node_conditions.get(dst, _NO_CONDITIONS)[1]
-            + self._link_conditions.get((src, dst), _NO_CONDITIONS)[1]
-        )
-        for members, _, layer_latency in self._condition_layers.values():
-            if src in members or dst in members:
-                extra += layer_latency
+        extra = 0.0
+        node_conditions = self._node_conditions
+        if node_conditions:
+            extra += (
+                node_conditions.get(src, _NO_CONDITIONS)[1]
+                + node_conditions.get(dst, _NO_CONDITIONS)[1]
+            )
+        if self._link_conditions:
+            extra += self._link_conditions.get((src, dst), _NO_CONDITIONS)[1]
+        if self._condition_layers:
+            for members, _, layer_latency in self._condition_layers.values():
+                if src in members or dst in members:
+                    extra += layer_latency
         return extra
 
     # -------------------------------------------------------------- sending
@@ -337,31 +410,42 @@ class Network:
         dropped immediately (self-send of network messages is allowed and
         delivered with normal latency).
         """
-        kind = type(msg).__name__
-        self.metrics.inc("msg.sent", node=src)
-        self.metrics.inc(f"msg.sent.{kind}")
-        if self._crosses_partition(src, dst):
-            self.metrics.inc("msg.dropped.partition")
-            self.metrics.inc(f"msg.dropped.partition.{kind}")
-            return False
-        loss = self._loss_for(src, dst)
-        if loss > 0 and self.rng.random() < loss:
+        entry = self._type_cache.get(type(msg))
+        if entry is None:
+            entry = self._intern_type(type(msg))
+        sent = self._sent_slots
+        sent[src] = sent.get(src, 0.0) + 1.0
+        sent_kind = entry[1]
+        sent_kind[None] = sent_kind.get(None, 0.0) + 1.0
+        if self._fault_free:
+            loss = self.loss_rate
+        else:
+            if self._crosses_partition(src, dst):
+                self.metrics.inc("msg.dropped.partition")
+                self.metrics.inc(entry[3])
+                return False
+            loss = self._loss_for(src, dst)
+        if loss > 0.0 and self.rng.random() < loss:
             self.metrics.inc("msg.dropped.loss")
-            self.metrics.inc(f"msg.dropped.loss.{kind}")
+            self.metrics.inc(entry[4])
             return False
-        latency = self.latency_model.sample(self.rng, src, dst) + self._extra_latency_for(
-            src, dst
-        )
-        self.scheduler.schedule(latency, self._deliver, src, dst, msg, kind)
+        latency = self.latency_model.sample(self.rng, src, dst)
+        if not self._fault_free:
+            latency += self._extra_latency_for(src, dst)
+        self.scheduler.schedule(latency, self._deliver, src, dst, msg, entry[2])
         return True
 
-    def _deliver(self, src: int, dst: int, msg: Any, kind: str) -> None:
+    def _deliver(self, src: int, dst: int, msg: Any, received_kind: Dict) -> None:
+        # ``received_kind`` is the per-type received-counter slots dict from
+        # the sender's interned entry — passed through the event so delivery
+        # pays no type lookup.
         deliver = self._delivery.get(dst)
         if deliver is None:
             # Destination died (or never existed) while the message was in
             # flight — epidemic protocols tolerate this silently.
             self.metrics.inc("msg.dropped.dead")
             return
-        self.metrics.inc("msg.received", node=dst)
-        self.metrics.inc(f"msg.received.{kind}")
+        received = self._recv_slots
+        received[dst] = received.get(dst, 0.0) + 1.0
+        received_kind[None] = received_kind.get(None, 0.0) + 1.0
         deliver(msg, src)

@@ -8,13 +8,21 @@ for the same instant always fire in scheduling order.
 The paper evaluated DATAFLASKS inside Minha, an event-driven JVM simulator.
 This module plays Minha's role for the Python reproduction (see DESIGN.md,
 "substitutions").
+
+Hot-path note: the heap stores ``(time, seq, event)`` tuples rather than
+:class:`Event` objects, so every sift comparison is a C-level tuple
+comparison instead of a Python-level ``Event.__lt__`` call — at paper
+scale the scheduler performs tens of comparisons per event, making this
+the single largest per-event cost (see DESIGN.md, "Performance"). ``seq``
+is unique, so a comparison never reaches the event object itself.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional
+from math import isfinite
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -44,6 +52,10 @@ class Event:
         self.cancelled = True
 
     def __lt__(self, other: "Event") -> bool:
+        # The scheduler itself never compares Events — its heap holds
+        # (time, seq, event) tuples (see module docstring). This exists
+        # only for external code that heaps Event objects directly, and
+        # must mirror the tuple ordering exactly.
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -67,7 +79,7 @@ class Scheduler:
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._events_processed = 0
 
@@ -92,18 +104,25 @@ class Scheduler:
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule an event {delay}s in the past")
-        return self.schedule_at(self._now + delay, fn, *args)
+        if delay < 0 or not isfinite(delay):
+            # NaN fails every comparison, so `delay < 0` alone would let it
+            # through and silently corrupt heap ordering; +inf would park
+            # the event unreachably. Both must fail loudly.
+            raise SimulationError(f"cannot schedule an event with delay {delay}s")
+        time = self._now + delay
+        event = Event(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, (time, event.seq, event))
+        return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run at absolute virtual time ``time``."""
-        if time < self._now:
+        if time < self._now or not isfinite(time):
             raise SimulationError(
-                f"cannot schedule an event at t={time} before current time t={self._now}"
+                f"cannot schedule an event at t={time} "
+                f"(current time t={self._now}; time must be finite and not in the past)"
             )
         event = Event(time, next(self._seq), fn, args)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, event.seq, event))
         return event
 
     @staticmethod
@@ -118,11 +137,12 @@ class Scheduler:
 
         Returns ``True`` if an event fired, ``False`` if the heap is empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            time, _seq, event = heapq.heappop(heap)
             if event.cancelled:
                 continue
-            self._now = event.time
+            self._now = time
             self._events_processed += 1
             event.fn(*event.args)
             return True
@@ -132,27 +152,40 @@ class Scheduler:
         """Run events until the heap drains, ``until`` is reached, or
         ``max_events`` have fired.
 
-        When ``until`` is given, virtual time is advanced to exactly ``until``
-        even if the last event fired earlier, so repeated ``run(until=...)``
-        calls compose predictably.
+        When ``until`` is given, virtual time is advanced to exactly
+        ``until`` even if the last event fired earlier, so repeated
+        ``run(until=...)`` calls compose predictably. The one exception:
+        if ``max_events`` stopped the run while events are still pending
+        at or before ``until``, time only advances to the next pending
+        event's instant — virtual time never jumps past work that has not
+        run (and therefore never rewinds when that work later fires).
         """
+        heap = self._heap
+        pop = heapq.heappop
         fired = 0
-        while self._heap:
+        while heap:
             if max_events is not None and fired >= max_events:
-                return
-            event = self._heap[0]
-            if event.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if until is not None and event.time > until:
                 break
-            heapq.heappop(self._heap)
-            self._now = event.time
+            time, _seq, event = heap[0]
+            if event.cancelled:
+                pop(heap)
+                continue
+            if until is not None and time > until:
+                break
+            pop(heap)
+            self._now = time
             self._events_processed += 1
             event.fn(*event.args)
             fired += 1
         if until is not None and until > self._now:
-            self._now = until
+            horizon = until
+            # Drop any cancelled prefix so it cannot pin the horizon.
+            while heap and heap[0][2].cancelled:
+                pop(heap)
+            if heap and heap[0][0] < horizon:
+                horizon = heap[0][0]
+            if horizon > self._now:
+                self._now = horizon
 
     def run_until_idle(self, max_events: int = 10_000_000) -> int:
         """Drain the heap completely; returns the number of events fired.

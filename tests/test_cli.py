@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -207,3 +209,18 @@ def test_scenarios_sweep(capsys):
     assert "over seeds [0, 1]" in out
     assert "load_success_rate" in out
     assert "stdev" in out
+
+
+def test_scenarios_sweep_jobs_summary_matches_serial(capsys):
+    # The CI parallel-vs-serial determinism check in CLI form: the
+    # canonical aggregate JSON must be byte-identical for any --jobs.
+    argv = ["scenarios", "sweep", "baseline", "--seeds", "0", "1", "--summary"]
+    assert main(argv + SMALL_RUN + ["--jobs", "1"]) == 0
+    serial = capsys.readouterr().out
+    assert main(argv + SMALL_RUN + ["--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert serial == parallel
+    payload = json.loads(serial)
+    assert payload["scenario"] == "baseline"
+    assert payload["seeds"] == [0, 1]
+    assert "load_success_rate" in payload["aggregate"]

@@ -132,3 +132,21 @@ class TestMetricsRegistry:
         reg.inc("x", node=1)
         reg.inc("x", node=2)
         assert reg.snapshot() == {"x": 2.0}
+
+    def test_counter_accessor_returns_live_slots(self):
+        reg = MetricsRegistry()
+        slots = reg.counter("hot")
+        slots[7] = slots.get(7, 0.0) + 2.0
+        assert reg.get("hot", node=7) == 2.0
+        assert reg.counter("hot") is slots
+
+    def test_never_incremented_counters_stay_invisible(self):
+        # Hot paths pre-create inner dicts via counter(); until something
+        # is actually recorded the name must not leak into the reporting
+        # surface (no phantom zero counters in snapshot/counter_names).
+        reg = MetricsRegistry()
+        reg.counter("pre.created")
+        assert reg.counter_names() == []
+        assert reg.snapshot() == {}
+        reg.inc("pre.created")
+        assert reg.counter_names() == ["pre.created"]

@@ -110,6 +110,28 @@ def test_heal_partitions_restores_connectivity():
     assert inbox == [1]
 
 
+def test_partition_rejects_node_in_multiple_groups():
+    # A node on both sides of a cut is a contradiction; the old last-wins
+    # behaviour let fault specs express impossible partitions silently.
+    net, _, _ = make_network()
+    with pytest.raises(ConfigurationError):
+        net.set_partitions([[1, 2], [2, 3]])
+    # The failed call must not leave a half-built partition behind.
+    assert net.send(1, 3, Probe()) is True
+    # Duplicates within one group are harmless.
+    net.set_partitions([[1, 1, 2], [3]])
+    assert net.send(1, 2, Probe()) is True
+    assert net.send(1, 3, Probe()) is False
+
+
+def test_failed_partition_keeps_previous_partition():
+    net, _, _ = make_network()
+    net.set_partitions([[1], [2]])
+    with pytest.raises(ConfigurationError):
+        net.set_partitions([[1, 2], [2]])
+    assert net.send(1, 2, Probe()) is False  # old cut still in force
+
+
 def test_unmentioned_nodes_form_implicit_group():
     net, sched, _ = make_network()
     inbox = []
@@ -293,6 +315,86 @@ class TestLinkConditions:
             net.add_burst_loss(2.0)
         with pytest.raises(ConfigurationError):
             net.add_conditions([1], loss=-0.5)
+
+
+class TestFastSlowPathEquivalence:
+    """The fast path (no fault machinery) must be a pure optimisation:
+    identical drop/latency decisions *and* identical RNG stream
+    consumption to the slow path with only zero-impact layers active."""
+
+    @staticmethod
+    def _traffic(net, sched, n_nodes=6, n_msgs=400):
+        """Drive a deterministic message pattern; returns the observable
+        outcome: per-send verdicts, arrival (time, src, dst) triples, and
+        the network RNG state afterwards."""
+        arrivals = []
+        for node_id in range(n_nodes):
+            net.register(
+                node_id,
+                lambda msg, src, _dst=node_id: arrivals.append((sched.now, src, _dst)),
+            )
+        verdicts = []
+        for i in range(n_msgs):
+            src = i % n_nodes
+            dst = (i * 7 + 3) % n_nodes
+            verdicts.append(net.send(src, dst, Probe(str(i))))
+        sched.run()
+        return verdicts, arrivals, net.rng.getstate()
+
+    @pytest.mark.parametrize("loss_rate", [0.0, 0.3])
+    def test_zero_impact_layers_change_nothing(self, loss_rate):
+        fast, fast_sched, fast_metrics = make_network(
+            latency_model=UniformLatency(0.01, 0.05), loss_rate=loss_rate
+        )
+        slow, slow_sched, slow_metrics = make_network(
+            latency_model=UniformLatency(0.01, 0.05), loss_rate=loss_rate
+        )
+        # Arm every kind of fault machinery at zero impact: the slow path
+        # runs its partition/condition lookups but must decide identically.
+        slow.add_conditions([0, 1, 2], loss=0.0, extra_latency=0.0)
+        slow.add_burst_loss(0.0)
+        slow.block([], [])
+        slow.set_link_conditions(0, 1, loss=0.0, extra_latency=0.0)  # clears to empty
+        assert fast._fault_free is True
+        assert slow._fault_free is False
+
+        fast_out = self._traffic(fast, fast_sched)
+        slow_out = self._traffic(slow, slow_sched)
+        assert fast_out[0] == slow_out[0]  # same per-send verdicts
+        assert fast_out[1] == slow_out[1]  # same arrival times, exactly
+        assert fast_out[2] == slow_out[2]  # same RNG stream consumption
+        for name in ("msg.sent", "msg.received", "msg.dropped.loss"):
+            assert fast_metrics.total(name) == slow_metrics.total(name)
+
+    def test_fast_path_reengages_after_heal(self):
+        net, _, _ = make_network()
+        assert net._fault_free is True
+        token = net.add_conditions([1], loss=0.5)
+        net.set_partitions([[1], [2]])
+        rule = net.block([1], [2])
+        burst = net.add_burst_loss(0.2)
+        net.set_node_conditions(3, loss=0.1)
+        net.set_link_conditions(1, 2, extra_latency=0.5)
+        assert net._fault_free is False
+        net.remove_conditions(token)
+        net.heal_partitions()
+        net.unblock(rule)
+        net.remove_burst_loss(burst)
+        net.clear_conditions()
+        assert net._fault_free is True
+
+    def test_counters_match_pre_overhaul_semantics(self):
+        # Interned keys and cached slots must land in the same counters
+        # the f-string path used.
+        net, sched, metrics = make_network()
+        net.register(2, lambda msg, src: None)
+        net.send(1, 2, Probe())
+        net.send(1, 2, Probe())
+        sched.run()
+        assert metrics.get("msg.sent", node=1) == 2
+        assert metrics.get("msg.received", node=2) == 2
+        assert metrics.total("msg.sent.Probe") == 2
+        assert metrics.total("msg.received.Probe") == 2
 
 
 class TestLatencyModels:

@@ -36,6 +36,7 @@ EXPECTED_BUNDLED = {
     "heterogeneous-latency",
     "oracle-baseline",
     "oracle-fault-wave",
+    "scale-20k",
     "scale-5k",
     "skewed-ycsb",
     "slow-quartile",
@@ -295,6 +296,33 @@ class TestRunner:
         spec = small_spec("baseline")
         rows = run_sweep(spec, seeds=[3, 4]).rows()
         assert [row["seed"] for row in rows] == [3, 4]
+
+    def test_parallel_sweep_byte_identical_to_serial(self):
+        # The core contract of the --jobs fan-out: worker processes change
+        # wall-clock only. Per-seed results arrive in seed order and the
+        # aggregate (and its canonical serialisation) matches the serial
+        # path byte for byte.
+        spec = small_spec("baseline")
+        serial = run_sweep(spec, seeds=[0, 1, 2], jobs=1)
+        parallel = run_sweep(spec, seeds=[0, 1, 2], jobs=2)
+        assert [r.seed for r in parallel.results] == [0, 1, 2]
+        assert parallel.summary_json() == serial.summary_json()
+        assert [r.summary_json() for r in parallel.results] == [
+            r.summary_json() for r in serial.results
+        ]
+
+    def test_parallel_sweep_with_faults_matches_serial(self):
+        # Fault schedules exercise the nemesis + network condition layers
+        # inside the workers; determinism must survive pickling the spec.
+        spec = small_spec("asymmetric-partition")
+        serial = run_sweep(spec, seeds=[1, 2], jobs=1)
+        parallel = run_sweep(spec, seeds=[1, 2], jobs=2)
+        assert parallel.summary_json() == serial.summary_json()
+
+    def test_sweep_rejects_non_positive_jobs(self):
+        spec = small_spec("baseline")
+        with pytest.raises(ConfigurationError):
+            run_sweep(spec, seeds=[0, 1], jobs=0)
 
     def test_correlated_failure_kills_fraction(self):
         spec = small_spec("catastrophic-failure")

@@ -89,6 +89,23 @@ def test_cannot_schedule_in_the_past():
         sched.schedule_at(1.0, lambda: None)
 
 
+def test_non_finite_times_rejected():
+    # NaN fails every comparison, so the old `delay < 0` guard let it
+    # through and silently corrupted heap ordering; inf parked events
+    # unreachably. Both must fail loudly, and the heap must stay usable.
+    sched = Scheduler()
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(SimulationError):
+            sched.schedule(bad, lambda: None)
+        with pytest.raises(SimulationError):
+            sched.schedule_at(bad, lambda: None)
+    fired = []
+    sched.schedule(1.0, fired.append, "ok")
+    sched.run()
+    assert fired == ["ok"]
+    assert sched.now == 1.0
+
+
 def test_events_scheduled_during_run_fire_in_same_run():
     sched = Scheduler()
     fired = []
@@ -119,6 +136,47 @@ def test_max_events_bounds_run():
         sched.schedule(float(i), fired.append, i)
     sched.run(max_events=4)
     assert fired == [0, 1, 2, 3]
+
+
+def test_run_until_with_max_events_still_advances_time():
+    # Regression: hitting max_events used to return without the promised
+    # advance to `until`, so composed run(until=...) callers lost time.
+    sched = Scheduler()
+    fired = []
+    sched.schedule(1.0, fired.append, "a")
+    sched.schedule(2.0, fired.append, "b")
+    sched.schedule(20.0, fired.append, "late")
+    sched.run(until=10.0, max_events=2)
+    assert fired == ["a", "b"]
+    assert sched.now == 10.0  # nothing pending before the horizon
+    sched.run(until=30.0)
+    assert fired == ["a", "b", "late"]
+
+
+def test_run_until_with_max_events_never_skips_pending_work():
+    # When max_events truncates the run with events still pending before
+    # `until`, time only advances to the next pending instant — virtual
+    # time must never jump past (and later rewind for) unfired events.
+    sched = Scheduler()
+    fired = []
+    sched.schedule(1.0, fired.append, "a")
+    sched.schedule(3.0, fired.append, "b")
+    sched.run(until=10.0, max_events=1)
+    assert fired == ["a"]
+    assert sched.now == 3.0
+    sched.run(until=10.0)
+    assert fired == ["a", "b"]
+    assert sched.now == 10.0
+
+
+def test_run_until_with_max_events_ignores_cancelled_prefix():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(1.0, fired.append, "a")
+    sched.schedule(3.0, fired.append, "skipped").cancel()
+    sched.run(until=10.0, max_events=1)
+    assert fired == ["a"]
+    assert sched.now == 10.0  # the cancelled event cannot pin the clock
 
 
 def test_run_until_idle_guards_against_runaway():

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import SimulationError, UnknownNodeError
 from repro.sim.node import Node
-from repro.sim.simulator import Simulation
+from repro.sim.simulator import Simulation, relaxed_gc
 
 
 def test_add_nodes_assigns_unique_ids():
@@ -108,6 +108,27 @@ def test_determinism_same_seed_same_message_counts():
 
     assert run(123) == run(123)
     assert run(123) != run(124)
+
+
+def test_relaxed_gc_sets_and_restores_thresholds():
+    import gc
+
+    before = gc.get_threshold()
+    with relaxed_gc(12345):
+        raised = gc.get_threshold()
+        assert raised[0] == 12345
+        assert raised[1:] == before[1:]
+    assert gc.get_threshold() == before
+
+
+def test_relaxed_gc_restores_on_error():
+    import gc
+
+    before = gc.get_threshold()
+    with pytest.raises(RuntimeError):
+        with relaxed_gc():
+            raise RuntimeError("boom")
+    assert gc.get_threshold() == before
 
 
 def test_message_load_covers_all_nodes():
