@@ -1,0 +1,207 @@
+"""Latency vs offered load — the open-loop knee curve per backend.
+
+Sweeps the open-loop engine's offered rate over each backend and
+records delivered throughput and latency percentiles per point, the
+standard way to present the paper's throughput/latency results: as the
+offered rate approaches a backend's capacity, delivered throughput
+flattens and tail latency bends upward — the *knee*. Each point is one
+deterministic scenario run (``mode="open"``, ``clients`` concurrent
+client nodes, Poisson arrivals), so the artifact is reproducible
+byte-for-byte at a fixed seed on any host; only wall-clock varies.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_latency_throughput.py             # full sweep
+    PYTHONPATH=src python benchmarks/bench_latency_throughput.py --smoke     # CI-sized
+    PYTHONPATH=src python benchmarks/bench_latency_throughput.py \
+        --backends core dht --rates 20 40 80 --clients 8
+
+Operation counts scale with the rate (``rate * duration``), so every
+point measures the same simulated span and the per-point offered rates
+are comparable.
+
+Artifact format (``BENCH_latency.json``)::
+
+    {
+      "bench": "latency_throughput",
+      "mode": "full" | "smoke" | "partial",
+      "seed": 5,
+      "clients": 4,
+      "rates": [10, ...],
+      "results": [
+        {"backend": "core", "rate": 10.0, "offered_rate": 10.02,
+         "delivered_rate": 9.98, "success_rate": 1.0, "not_issued": 0.0,
+         "latency_read_p50": 0.03, "latency_read_p99": 0.04, ...},
+        ...
+      ],
+      "knee": {"core": {...the sustained row...}, "dht": ...}
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.analysis.loadcurve import knee_point, load_curve_row
+from repro.analysis.tables import format_series, rows_to_table
+from repro.backends import list_backends
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ScenarioSpec, WorkloadSpec
+
+DEFAULT_BACKENDS = ["core", "dht"]
+DEFAULT_RATES = [10.0, 20.0, 40.0, 80.0, 160.0, 320.0]
+SMOKE_RATES = [20.0, 60.0]
+DEFAULT_NODES = 60
+SMOKE_NODES = 30
+DEFAULT_DURATION = 20.0  # measured seconds per point (plus warmup)
+SMOKE_DURATION = 4.0
+WARMUP = 2.0
+CLIENTS = 4
+SEED = 5
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_latency.json"
+)
+
+
+def knee_spec(
+    stack: str, rate: float, nodes: int, clients: int, duration: float
+) -> ScenarioSpec:
+    """One offered-load point: YCSB-A over ``duration`` measured seconds."""
+    return ScenarioSpec(
+        name=f"latency-knee-{stack}-{rate:g}",
+        stack=stack,
+        nodes=nodes,
+        num_slices=max(2, nodes // 10),
+        replication=3,
+        settle=10.0,
+        workload=WorkloadSpec(
+            preset="ycsb-a",
+            record_count=nodes,
+            operation_count=int(rate * (WARMUP + duration)),
+            mode="open",
+            clients=clients,
+            rate=rate,
+            arrival="poisson",
+            warmup=WARMUP,
+            window=duration / 2,
+            op_timeout=10.0,
+        ),
+        metrics=("workload",),
+    )
+
+
+def run_point(
+    stack: str, rate: float, nodes: int, clients: int, duration: float, seed: int
+) -> Dict[str, float]:
+    spec = knee_spec(stack, rate, nodes, clients, duration)
+    start = time.perf_counter()
+    result = run_scenario(spec, seed=seed)
+    wall = time.perf_counter() - start
+    row = load_curve_row(result.metrics)
+    row["backend"] = stack
+    row["rate"] = rate
+    row["wall_s"] = round(wall, 3)
+    return row
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rates", type=float, nargs="+", default=None,
+        help=f"offered rates (ops/s) to sweep (default {DEFAULT_RATES})",
+    )
+    parser.add_argument(
+        "--backends", nargs="+", default=None,
+        help=f"backends to sweep (default {DEFAULT_BACKENDS})",
+    )
+    parser.add_argument("--nodes", type=int, default=None)
+    parser.add_argument(
+        "--clients", type=int, default=CLIENTS,
+        help=f"concurrent client nodes per point (default {CLIENTS})",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"CI-sized run: rates {SMOKE_RATES}, {SMOKE_NODES} nodes",
+    )
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT,
+        help="artifact path (default: BENCH_latency.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    rates = args.rates or (SMOKE_RATES if args.smoke else DEFAULT_RATES)
+    nodes = args.nodes or (SMOKE_NODES if args.smoke else DEFAULT_NODES)
+    duration = SMOKE_DURATION if args.smoke else DEFAULT_DURATION
+    backends = args.backends or DEFAULT_BACKENDS
+    unknown = set(backends) - set(list_backends())
+    if unknown:
+        parser.error(f"unknown backends {sorted(unknown)}; registered: {list_backends()}")
+
+    results: List[Dict[str, float]] = []
+    knees: Dict[str, Optional[Dict[str, float]]] = {}
+    for stack in backends:
+        rows = []
+        for rate in rates:
+            print(f"measuring {stack} at {rate:g} ops/s offered ...", flush=True)
+            row = run_point(stack, rate, nodes, args.clients, duration, args.seed)
+            print(
+                f"  offered {row['offered_rate']:.1f}/s -> delivered "
+                f"{row['delivered_rate']:.1f}/s "
+                f"(read p99 {row.get('latency_read_p99', 0.0) * 1000:.1f} ms, "
+                f"{row['wall_s']:.1f}s wall)",
+                flush=True,
+            )
+            rows.append(row)
+        results.extend(rows)
+        knees[stack] = knee_point(rows)
+        columns = ["rate", "offered_rate", "delivered_rate", "success_rate"]
+        columns += sorted(k for k in rows[0] if k.startswith("latency_"))
+        print(rows_to_table(rows, columns))
+        print(
+            format_series(
+                f"{stack}: delivered vs offered (knee where it flattens)",
+                "offered ops/s",
+                "delivered ops/s",
+                [(r["rate"], round(r["delivered_rate"], 1)) for r in rows],
+            )
+        )
+        if knees[stack]:
+            print(f"{stack} knee: sustains {knees[stack]['offered_rate']:.1f} ops/s\n")
+        else:
+            print(f"{stack} knee: saturated at every measured rate\n")
+
+    # "full"/"smoke" only for the documented configurations — any
+    # customised run (rates, nodes, clients, seed) is "partial" so the
+    # committed baseline can't be overwritten under a false flag.
+    default_config = args.clients == CLIENTS and args.seed == SEED
+    if args.smoke and args.rates is None and args.nodes is None and default_config:
+        mode = "smoke"
+    elif rates == DEFAULT_RATES and nodes == DEFAULT_NODES and default_config:
+        mode = "full"
+    else:
+        mode = "partial"
+    artifact = {
+        "bench": "latency_throughput",
+        "mode": mode,
+        "seed": args.seed,
+        "clients": args.clients,
+        "nodes": nodes,
+        "rates": rates,
+        "results": results,
+        "knee": knees,
+    }
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(artifact, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,12 +6,15 @@
   sweeps
 * :mod:`repro.analysis.consistency` — acked-vs-retained write-loss
   accounting for fault scenarios
+* :mod:`repro.analysis.loadcurve` — offered-vs-delivered throughput and
+  per-window latency percentiles for the open-loop engine
 * :mod:`repro.analysis.tables` — ASCII tables/series for bench output
 """
 
 from repro.analysis.aggregate import aggregate_rows, aggregate_table_rows
 from repro.analysis.consistency import count_write_losses
 from repro.analysis.health import ConsistencyReport, check_cluster, missing_objects
+from repro.analysis.loadcurve import knee_point, load_curve_row, window_rows
 from repro.analysis.experiments import (
     default_node_counts,
     full_scale,
@@ -32,7 +35,10 @@ __all__ = [
     "format_series",
     "format_table",
     "full_scale",
+    "knee_point",
+    "load_curve_row",
     "rows_to_table",
+    "window_rows",
     "run_constant_slices",
     "run_proportional_slices",
     "run_write_workload_point",

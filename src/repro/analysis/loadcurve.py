@@ -1,0 +1,94 @@
+"""Offered-vs-delivered load-curve aggregation for the open-loop engine.
+
+Two consumers, two granularities:
+
+* **per measurement window** — :func:`window_rows` flattens an
+  :class:`~repro.workload.openloop.OpenLoopStats` into one row per
+  window (offered/delivered rates, per-kind latency percentiles), for
+  steady-state inspection of a single run;
+* **per offered-load point** — :func:`load_curve_row` extracts one
+  knee-curve point from a scenario result's flat metrics, and
+  :func:`knee_point` finds the saturation knee across a sweep of
+  offered rates: the highest point where the backend still delivers at
+  least ``efficiency`` of what was offered
+  (``benchmarks/bench_latency_throughput.py`` is the driver).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.metrics import percentile
+from repro.workload.openloop import OpenLoopStats
+
+__all__ = ["window_rows", "load_curve_row", "knee_point"]
+
+
+def window_rows(stats: OpenLoopStats) -> List[Dict[str, float]]:
+    """One row per measurement window, ready for ``rows_to_table``.
+
+    Each row carries the window bounds, offered/issued/shed/completed
+    counts, offered and delivered rates, and ``latency_<kind>_p50`` /
+    ``latency_<kind>_p99`` for every operation kind that completed in
+    the window.
+    """
+    rows: List[Dict[str, float]] = []
+    for w in stats.windows:
+        row: Dict[str, float] = {
+            "start": w.start,
+            "end": w.end,
+            "offered": float(w.offered),
+            "issued": float(w.issued),
+            "not_issued": float(w.not_issued),
+            "succeeded": float(w.succeeded),
+            "failed": float(w.failed),
+            "offered_rate": w.offered_rate,
+            "delivered_rate": w.delivered_rate,
+        }
+        for kind in sorted(w.latencies):
+            values = w.latencies[kind]
+            row[f"latency_{kind}_p50"] = percentile(values, 50)
+            row[f"latency_{kind}_p99"] = percentile(values, 99)
+        rows.append(row)
+    return rows
+
+
+def load_curve_row(metrics: Dict[str, float]) -> Dict[str, float]:
+    """One knee-curve point from a scenario result's flat metrics.
+
+    ``metrics`` is :attr:`~repro.scenarios.runner.ScenarioResult.metrics`
+    of an open-loop run: offered rate, delivered throughput, success
+    rate, and every ``latency_*`` percentile the run produced.
+    """
+    row = {
+        "offered_rate": metrics.get("txn_offered_rate", 0.0),
+        "delivered_rate": metrics.get("txn_throughput", 0.0),
+        "success_rate": metrics.get("txn_success_rate", 0.0),
+        "not_issued": metrics.get("txn_not_issued", 0.0),
+    }
+    for name, value in metrics.items():
+        if name.startswith("latency_"):
+            row[name] = value
+    return row
+
+
+def knee_point(
+    rows: Sequence[Dict[str, float]], efficiency: float = 0.9
+) -> Optional[Dict[str, float]]:
+    """The saturation knee of a load-curve sweep.
+
+    ``rows`` are :func:`load_curve_row` points (any order). Returns the
+    row with the highest offered rate whose delivered throughput is
+    still at least ``efficiency`` of the offered rate — the last point
+    before the latency/throughput curve bends — or ``None`` when every
+    point is already past saturation.
+    """
+    sustained = [
+        r
+        for r in rows
+        if r["offered_rate"] > 0
+        and r["delivered_rate"] >= efficiency * r["offered_rate"]
+    ]
+    if not sustained:
+        return None
+    return max(sustained, key=lambda r: r["offered_rate"])

@@ -261,6 +261,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
                 "churn": spec.churn.kind if spec.churn else "-",
                 "faults": ",".join(f.kind for f in spec.faults) or "-",
                 "workload": spec.workload.preset,
+                "mode": spec.workload.mode,
                 "description": spec.description,
             }
             for name, spec in load_all_bundled().items()
@@ -268,7 +269,8 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         print(
             rows_to_table(
                 rows,
-                ["name", "stack", "nodes", "churn", "faults", "workload", "description"],
+                ["name", "stack", "nodes", "churn", "faults", "workload", "mode",
+                 "description"],
             )
         )
         return 0
@@ -331,9 +333,16 @@ def _validate_spec(target: str) -> int:
     backend = get_backend(spec.stack)  # registry-checked at spec build too
     print(f"spec OK: {spec.name} ({spec.stack}, {spec.nodes} nodes, seed {spec.seed})")
     print(f"  backend: {spec.stack} — {backend.description}")
+    drive = spec.workload.mode
+    if drive == "open":
+        drive += (
+            f", {spec.workload.clients} clients, "
+            f"{spec.workload.rate:g} ops/s {spec.workload.arrival}"
+        )
     print(
         f"  workload: {spec.workload.preset} "
-        f"(load {spec.workload.record_count}, txn {spec.workload.operation_count})"
+        f"(load {spec.workload.record_count}, txn {spec.workload.operation_count}, "
+        f"{drive})"
     )
     print(f"  churn: {spec.churn.kind if spec.churn else '-'}")
     print(f"  metrics: {', '.join(spec.metrics)}")

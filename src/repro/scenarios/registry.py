@@ -27,6 +27,8 @@ Bundled set (see each file's ``description`` for the full story):
 ``oracle-baseline``       the idealized ground-truth store, steady state
 ``oracle-fault-wave``     the oracle under crashes + loss: availability
                           without consistency cost, the vs-ideal yardstick
+``open-loop``             4 concurrent clients offering Poisson load at a
+                          fixed rate — the concurrent-engine smoke
 ========================  ====================================================
 """
 

@@ -20,6 +20,14 @@ Timeline: deploy -> warmup/convergence -> load -> settle -> arm the
 nemesis schedule and churn -> transaction phase (kept running until the
 last fault heals) -> time-to-heal measurement -> cooldown -> collect.
 
+The transaction phase is driven closed-loop
+(:class:`~repro.workload.runner.WorkloadRunner`, the default) or
+open-loop (:class:`~repro.workload.openloop.OpenLoopRunner`, when
+``spec.workload.mode == "open"``) — both share one consistency
+observer, and the open engine's arrival times come from a dedicated
+derived RNG stream, so either mode keeps the byte-identical replay
+contract.
+
 :func:`run_sweep` repeats a spec over several seeds and aggregates the
 per-seed metrics through :func:`repro.analysis.aggregate.aggregate_rows`.
 Pass ``jobs > 1`` to fan the seeds out over worker processes
@@ -44,7 +52,9 @@ from repro.errors import ConfigurationError
 from repro.churn.controller import ChurnController
 from repro.faults.nemesis import Nemesis
 from repro.scenarios.spec import ScenarioSpec
+from repro.sim.rng import derive_seed
 from repro.sim.simulator import Simulation, relaxed_gc
+from repro.workload.openloop import OpenLoopRunner, OpenLoopStats
 from repro.workload.runner import RunStats, WorkloadRunner
 
 __all__ = ["ScenarioResult", "SweepResult", "run_scenario", "run_sweep"]
@@ -139,7 +149,29 @@ def _run_scenario_inner(spec: ScenarioSpec, seed: int) -> ScenarioResult:
 
     txn_stats: Optional[RunStats] = None
     if spec.workload.operation_count > 0:
-        txn_stats = runner.run_transactions(spec.workload.operation_count)
+        if spec.workload.mode == "open":
+            # The concurrent engine shares the load phase's consistency
+            # observer, so acked versions / staleness / availability span
+            # the whole run. Its op stream gets a derived seed: the load
+            # phase already consumed part of the `seed` stream, and the
+            # engine must not replay it.
+            engine = OpenLoopRunner(
+                backend,
+                workload,
+                clients=spec.workload.clients,
+                rate=spec.workload.rate,
+                arrival=spec.workload.arrival,
+                warmup=spec.workload.warmup,
+                window=spec.workload.window,
+                max_in_flight=spec.workload.max_in_flight,
+                seed=derive_seed(seed, "workload.open"),
+                op_timeout=spec.workload.op_timeout,
+                acks_required=spec.workload.acks_required,
+                observer=runner.observer,
+            )
+            txn_stats = engine.run_transactions(spec.workload.operation_count)
+        else:
+            txn_stats = runner.run_transactions(spec.workload.operation_count)
     elif spec.churn is not None:
         # No transaction phase: still play the churn schedule out so its
         # effects are visible in the population/replication metrics.
@@ -301,6 +333,7 @@ def _collect(
         metrics["load_success_rate"] = _r(load_stats.success_rate)
         if txn_stats is not None:
             metrics["txn_ops"] = float(txn_stats.issued)
+            metrics["txn_not_issued"] = float(txn_stats.not_issued)
             metrics["txn_success_rate"] = _r(txn_stats.success_rate)
             metrics["txn_throughput"] = _r(txn_stats.throughput)
             for kind in sorted(txn_stats.latencies):
@@ -308,6 +341,11 @@ def _collect(
                 metrics[f"latency_{kind}_p50"] = _r(summary["p50"])
                 metrics[f"latency_{kind}_p99"] = _r(summary["p99"])
             metrics["txn_messages_per_node"] = _r(txn_stats.messages_per_node)
+            if isinstance(txn_stats, OpenLoopStats):
+                # Open loop only: offered vs delivered is the knee curve.
+                metrics["txn_offered"] = float(txn_stats.offered)
+                metrics["txn_offered_rate"] = _r(txn_stats.offered_rate)
+                metrics["txn_timed_out"] = float(txn_stats.timed_out)
     if "messages" in groups:
         load = backend.server_message_load()
         metrics["messages_sent_per_node"] = _r(load["sent"])

@@ -187,13 +187,27 @@ class ChurnSpec:
 
 @dataclass
 class WorkloadSpec:
-    """YCSB-style workload: a preset mix plus sizing overrides.
+    """YCSB-style workload: a preset mix, sizing, and the drive mode.
 
     ``preset`` names one of the core workloads (``ycsb-a`` … ``ycsb-f``,
     ``write-only``). The load phase inserts ``record_count`` items; the
     transaction phase then issues ``operation_count`` requests from the
     preset's mix (0 skips the phase, matching the paper's load-only
     evaluation).
+
+    ``mode`` selects how the transaction phase is driven:
+
+    * ``closed`` (default) — today's single-client closed loop
+      (:class:`~repro.workload.runner.WorkloadRunner`): one operation in
+      flight at a time. All pre-existing specs replay byte-identically.
+    * ``open`` — the concurrent engine
+      (:class:`~repro.workload.openloop.OpenLoopRunner`): operations
+      arrive at ``rate`` ops/s (``arrival`` = ``poisson`` or
+      ``constant``), fanned over ``clients`` client nodes, bounded by
+      ``max_in_flight`` outstanding operations (0 = ``4 * clients``).
+      The first ``warmup`` seconds are excluded from the reported
+      statistics, and measured operations are bucketed into
+      ``window``-second measurement windows.
     """
 
     preset: str = "write-only"
@@ -203,6 +217,13 @@ class WorkloadSpec:
     value_size: Optional[int] = None
     acks_required: int = 1
     op_timeout: float = 30.0
+    mode: str = "closed"
+    clients: int = 1
+    rate: float = 0.0
+    arrival: str = "poisson"
+    warmup: float = 0.0
+    max_in_flight: int = 0
+    window: float = 5.0
 
     def __post_init__(self) -> None:
         if self.preset not in WORKLOAD_PRESETS:
@@ -212,6 +233,28 @@ class WorkloadSpec:
             )
         if self.record_count <= 0 or self.operation_count < 0:
             raise ConfigurationError("record_count must be positive, operation_count >= 0")
+        if self.mode not in ("closed", "open"):
+            raise ConfigurationError(
+                f"unknown workload mode {self.mode!r}; choose 'closed' or 'open'"
+            )
+        if self.clients < 1:
+            raise ConfigurationError("clients must be >= 1")
+        if self.mode == "closed" and self.clients != 1:
+            raise ConfigurationError(
+                "the closed-loop runner is single-client; use mode = 'open' "
+                "for concurrent clients"
+            )
+        if self.mode == "open" and self.rate <= 0:
+            raise ConfigurationError("open-loop mode needs a positive rate (ops/s)")
+        if self.arrival not in ("poisson", "constant"):
+            raise ConfigurationError(
+                f"unknown arrival process {self.arrival!r}; "
+                "choose 'poisson' or 'constant'"
+            )
+        if self.warmup < 0 or self.window <= 0 or self.max_in_flight < 0:
+            raise ConfigurationError(
+                "warmup and max_in_flight must be >= 0, window > 0"
+            )
 
     def build(self) -> CoreWorkload:
         workload = WORKLOAD_PRESETS[self.preset].scaled(self.record_count)

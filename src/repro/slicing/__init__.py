@@ -36,6 +36,5 @@ __all__ = [
     "slice_assignments",
     "slice_histogram",
     "slice_imbalance",
-    "slice_imbalance",
     "unassigned_fraction",
 ]

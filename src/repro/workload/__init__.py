@@ -6,6 +6,9 @@
   write-only workload
 * :class:`~repro.workload.runner.WorkloadRunner` — closed-loop execution
   against a cluster with version assignment
+* :class:`~repro.workload.openloop.OpenLoopRunner` — concurrent
+  open-loop execution: Poisson/constant arrivals fanned over a client
+  pool, bounded in-flight window, warmup/measurement windows
 """
 
 from repro.workload.distributions import (
@@ -17,7 +20,8 @@ from repro.workload.distributions import (
     ZipfianChooser,
     fnv64,
 )
-from repro.workload.runner import RunStats, WorkloadRunner
+from repro.workload.openloop import OpenLoopRunner, OpenLoopStats, Window
+from repro.workload.runner import ConsistencyObserver, RunStats, WorkloadRunner
 from repro.workload.ycsb import (
     INSERT,
     READ,
@@ -36,11 +40,14 @@ from repro.workload.ycsb import (
 )
 
 __all__ = [
+    "ConsistencyObserver",
     "CoreWorkload",
     "HotSpotChooser",
     "INSERT",
     "KeyChooser",
     "LatestChooser",
+    "OpenLoopRunner",
+    "OpenLoopStats",
     "Operation",
     "READ",
     "RMW",
@@ -56,6 +63,7 @@ __all__ = [
     "WORKLOAD_E",
     "WORKLOAD_F",
     "WRITE_ONLY",
+    "Window",
     "WorkloadRunner",
     "ZipfianChooser",
     "fnv64",

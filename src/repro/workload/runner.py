@@ -1,20 +1,23 @@
-"""Closed-loop workload runner.
+"""Closed-loop workload runner and shared consistency accounting.
 
 Drives a :class:`~repro.workload.ycsb.CoreWorkload` against any storage
 stack through one client, assigning the totally ordered versions the
 DATADROPLETS layer would
 (inserts start at version 1, each update bumps the key's version), and
 collects the statistics the benches report: success rates, latency
-percentiles, and — the paper's metric — messages per server node.
+percentiles, and — the paper's metric — messages per server node
+(the run's message delta divided by the alive-server count).
 
-Because the runner is the version oracle, it is also the consistency
-observer the fault scenarios need: it knows the highest version each key
-was *acknowledged* at, so it counts **stale reads** (a successful read
-returning an older version) as they happen, tracks per-key
-**unavailability windows** (first failed read until the next successful
-one) in an :class:`~repro.sim.metrics.AvailabilityTracker`, and exposes
-:attr:`WorkloadRunner.acked_versions` for the server-side lost-update
-audit (:func:`repro.analysis.consistency.count_write_losses`).
+The version oracle and the consistency bookkeeping live in
+:class:`ConsistencyObserver` so the concurrent open-loop engine
+(:mod:`repro.workload.openloop`) can share one observer with the load
+phase: the observer knows the highest version each key was
+*acknowledged* at, so it detects **stale reads** (a successful read
+returning an older version), tracks per-key **unavailability windows**
+(first failed read until the next successful one) in an
+:class:`~repro.sim.metrics.AvailabilityTracker`, and exposes
+:attr:`ConsistencyObserver.acked_versions` for the server-side
+lost-update audit (:func:`repro.analysis.consistency.count_write_losses`).
 """
 
 from __future__ import annotations
@@ -26,21 +29,145 @@ from typing import Dict, List, Optional
 from repro.sim.metrics import AvailabilityTracker, mean, percentile
 from repro.workload.ycsb import INSERT, READ, RMW, SCAN, UPDATE, CoreWorkload, Operation
 
-__all__ = ["RunStats", "WorkloadRunner"]
+__all__ = ["ConsistencyObserver", "RunStats", "WorkloadRunner"]
+
+# Distinguishes "caller took no snapshot" (closed loop) from "snapshot
+# taken, nothing acked yet" (open loop, expected=None): the two must
+# not conflate, or a write acked while a never-acked key's read is in
+# flight would retroactively make that read look stale.
+_NO_SNAPSHOT = object()
+
+
+def server_message_total(cluster) -> float:
+    """Total messages handled across all servers — inverts the per-node
+    mean ``server_message_load`` reports (which averages over every
+    server ever deployed)."""
+    return cluster.server_message_load()["handled"] * len(cluster.servers)
+
+
+def messages_per_alive_node(cluster, start_total: float) -> float:
+    """The paper's per-node metric for one measurement span: the
+    server-side message delta since ``start_total``, divided by the
+    servers actually alive to share the load (crashed nodes must not
+    dilute the mean)."""
+    alive = sum(1 for s in cluster.servers if s.alive)
+    return (server_message_total(cluster) - start_total) / max(1, alive)
+
+
+def scan_range(workload: CoreWorkload, op: Operation):
+    """``(base_index, end_index)`` of the keys a scan actually covers.
+
+    Empty (``end <= base``) when the scan starts at/after
+    ``record_count`` or has zero length — both drive modes record such
+    a scan as not issued rather than a zero-get "success"."""
+    base_index = _key_index(op.key, workload.key_prefix)
+    return base_index, min(base_index + op.scan_length, workload.record_count)
+
+
+class ConsistencyObserver:
+    """The version oracle plus the consistency observations it enables.
+
+    One observer spans a whole experiment (load phase and transaction
+    phase, closed- or open-loop): versions are assigned at *issue* time
+    so they stay totally ordered, but acknowledgements are recorded at
+    *completion* time — with interleaved in-flight writes, a write must
+    not count as acknowledged before its acks actually arrived, or
+    concurrent reads would be misclassified as stale.
+    """
+
+    def __init__(self) -> None:
+        # The version oracle the upper layer (DATADROPLETS) provides.
+        self._versions: Dict[str, int] = {}
+        # Highest version each key was acknowledged at — what a correct
+        # system must still be able to serve.
+        self._acked: Dict[str, int] = {}
+        self.availability = AvailabilityTracker()
+
+    @property
+    def acked_versions(self) -> Dict[str, int]:
+        """key -> highest acknowledged version (a copy)."""
+        return dict(self._acked)
+
+    @property
+    def versions(self) -> Dict[str, int]:
+        """key -> highest version assigned so far (a copy)."""
+        return dict(self._versions)
+
+    def seed_versions(self, versions: Dict[str, int]) -> None:
+        """Pre-load the oracle, e.g. for driving a store populated out
+        of band; :meth:`next_version` continues above the seeded values."""
+        self._versions.update(versions)
+
+    def next_version(self, key: str) -> int:
+        """Assign the next totally ordered version for ``key`` (issue time)."""
+        version = self._versions.get(key, 0) + 1
+        self._versions[key] = version
+        return version
+
+    def write_completed(self, key: str, version: int, succeeded: bool) -> None:
+        """Account a finished write (completion time)."""
+        if succeeded and version > self._acked.get(key, 0):
+            self._acked[key] = version
+
+    def expected_version(self, key: str) -> Optional[int]:
+        """The highest version acknowledged for ``key`` right now — what
+        a read *issued* at this instant must at least return."""
+        return self._acked.get(key)
+
+    def read_completed(
+        self,
+        key: str,
+        now: float,
+        succeeded: bool,
+        result_version: Optional[int],
+        expected=_NO_SNAPSHOT,
+    ) -> bool:
+        """Account a finished read; returns whether it was stale.
+
+        A read is stale when it succeeds but returns a version older
+        than ``expected`` — the highest version acknowledged when the
+        read was *issued* (pass the :meth:`expected_version` snapshot
+        taken at issue time; ``None`` there means nothing was acked
+        yet, so the read cannot be stale no matter what lands while it
+        is in flight). A concurrent engine must not judge a read
+        against writes whose acks arrived only after issue: the read
+        may legally linearize before them. When no snapshot is passed
+        at all, the acked map is consulted now — equivalent for a
+        closed loop, where nothing completes between issue and await.
+        """
+        self.availability.record(key, now, succeeded)
+        if expected is _NO_SNAPSHOT:
+            expected = self._acked.get(key)
+        return bool(
+            succeeded and expected is not None and (result_version or 0) < expected
+        )
 
 
 @dataclass
 class RunStats:
-    """Outcome of one workload run."""
+    """Outcome of one workload run.
+
+    ``issued`` counts operations actually sent to the store;
+    ``not_issued`` counts operations the runner declined to send — a
+    degenerate scan with no keys in range, or (open loop) an arrival
+    shed because the in-flight window was full. ``offered`` is their
+    sum: everything the workload asked for.
+    """
 
     issued: int = 0
     succeeded: int = 0
     failed: int = 0
+    not_issued: int = 0
     stale_reads: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
+    not_issued_by_kind: Dict[str, int] = field(default_factory=dict)
     latencies: Dict[str, List[float]] = field(default_factory=dict)
     duration: float = 0.0
     messages_per_node: float = 0.0
+
+    @property
+    def offered(self) -> int:
+        return self.issued + self.not_issued
 
     @property
     def success_rate(self) -> float:
@@ -74,15 +201,28 @@ class RunStats:
         else:
             self.failed += 1
 
+    def record_not_issued(self, kind: str) -> None:
+        """Account an operation that never reached the store — it must
+        not contribute a fake ~0-latency success, nor count against the
+        store's success rate. ``by_kind`` stays issued-only;
+        ``not_issued_by_kind`` shows what was shed."""
+        self.not_issued += 1
+        self.not_issued_by_kind[kind] = self.not_issued_by_kind.get(kind, 0) + 1
+
 
 class WorkloadRunner:
     """Runs load and transaction phases against a storage stack.
 
     ``cluster`` is duck-typed: a
     :class:`~repro.backends.base.StoreBackend` or any deployment facade
-    exposing ``sim``, ``new_client()`` and ``server_message_load()``,
-    whose clients speak the :class:`~repro.core.client.PendingOp`
-    protocol — the runner never branches on the concrete stack.
+    exposing ``sim``, ``servers``, ``new_client()`` and
+    ``server_message_load()``, whose clients speak the
+    :class:`~repro.core.client.PendingOp` protocol — the runner never
+    branches on the concrete stack.
+
+    ``observer`` shares one :class:`ConsistencyObserver` across several
+    runners/engines (the scenario runner hands the load-phase observer
+    to the open-loop engine); by default each runner gets its own.
     """
 
     def __init__(
@@ -93,6 +233,7 @@ class WorkloadRunner:
         seed: int = 0,
         op_timeout: float = 30.0,
         acks_required: int = 1,
+        observer: Optional[ConsistencyObserver] = None,
     ) -> None:
         self.cluster = cluster
         self.workload = workload
@@ -100,17 +241,18 @@ class WorkloadRunner:
         self.rng = random.Random(seed)
         self.op_timeout = op_timeout
         self.acks_required = acks_required
-        # The version oracle the upper layer (DATADROPLETS) provides.
-        self._versions: Dict[str, int] = {}
-        # Highest version each key was acknowledged at — what a correct
-        # system must still be able to serve.
-        self._acked: Dict[str, int] = {}
-        self.availability = AvailabilityTracker()
+        self.observer = observer if observer is not None else ConsistencyObserver()
+
+    # ------------------------------------------------ observer pass-throughs
 
     @property
     def acked_versions(self) -> Dict[str, int]:
         """key -> highest acknowledged version (a copy)."""
-        return dict(self._acked)
+        return self.observer.acked_versions
+
+    @property
+    def availability(self) -> AvailabilityTracker:
+        return self.observer.availability
 
     # ------------------------------------------------------------- phases
 
@@ -124,21 +266,15 @@ class WorkloadRunner:
 
     # ------------------------------------------------------------ internals
 
-    def _next_version(self, key: str) -> int:
-        version = self._versions.get(key, 0) + 1
-        self._versions[key] = version
-        return version
-
     def _run(self, operations) -> RunStats:
         stats = RunStats()
         sim = self.cluster.sim
         start_time = sim.now
-        start_msgs = self.cluster.server_message_load()["handled"]
+        start_msgs = server_message_total(self.cluster)
         for op in operations:
             self._execute(op, stats)
         stats.duration = sim.now - start_time
-        end_msgs = self.cluster.server_message_load()["handled"]
-        stats.messages_per_node = end_msgs - start_msgs
+        stats.messages_per_node = messages_per_alive_node(self.cluster, start_msgs)
         return stats
 
     def _execute(self, op: Operation, stats: RunStats) -> None:
@@ -159,34 +295,31 @@ class WorkloadRunner:
             stats.record(op.kind, write.succeeded, latency if write.succeeded else None)
         elif op.kind == SCAN:
             started = self.cluster.sim.now
-            base_index = _key_index(op.key, self.workload.key_prefix)
+            base_index, end_index = scan_range(self.workload, op)
+            if end_index <= base_index:
+                # Nothing in range: zero gets were performed, so recording
+                # a ~0-latency success would skew p50 — it was never issued.
+                stats.record_not_issued(op.kind)
+                return
             all_ok = True
-            for offset in range(op.scan_length):
-                index = base_index + offset
-                if index >= self.workload.record_count:
-                    break
+            for index in range(base_index, end_index):
                 pending = self._get(self.workload.key_for(index), stats)
                 all_ok = all_ok and pending.succeeded
             latency = self.cluster.sim.now - started
             stats.record(op.kind, all_ok, latency if all_ok else None)
 
     def _put(self, key: str, value):
-        version = self._next_version(key)
+        version = self.observer.next_version(key)
         pending = self.client.put(key, value, version, self.acks_required)
         self._await(pending)
-        if pending.succeeded and version > self._acked.get(key, 0):
-            self._acked[key] = version
+        self.observer.write_completed(key, version, pending.succeeded)
         return pending
 
     def _get(self, key: str, stats: RunStats):
         pending = self.client.get(key)
         self._await(pending)
-        self.availability.record(key, self.cluster.sim.now, pending.succeeded)
-        expected = self._acked.get(key)
-        if (
-            pending.succeeded
-            and expected is not None
-            and (pending.result_version or 0) < expected
+        if self.observer.read_completed(
+            key, self.cluster.sim.now, pending.succeeded, pending.result_version
         ):
             stats.stale_reads += 1
         return pending

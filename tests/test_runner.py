@@ -4,8 +4,11 @@ import pytest
 
 from repro.workload.runner import RunStats, WorkloadRunner
 from repro.workload.ycsb import (
+    SCAN,
     CoreWorkload,
+    Operation,
     WORKLOAD_A,
+    WORKLOAD_E,
     WORKLOAD_F,
     WRITE_ONLY,
 )
@@ -80,14 +83,13 @@ class TestTransactionPhase:
         stats = runner.run_transactions(10)
         assert stats.success_rate == 1.0
         # Updates bumped versions past the insert's version 1.
-        versions = [runner._versions[k] for k in runner._versions]
-        assert max(versions) > 1
+        assert max(runner.observer.versions.values()) > 1
 
     def test_rmw_counts_as_single_op(self, loaded_cluster):
         cluster, _, _ = loaded_cluster
         workload = WORKLOAD_F.scaled(20)
         runner = WorkloadRunner(cluster, workload, seed=4)
-        runner._versions = {workload.key_for(i): 1 for i in range(20)}
+        runner.observer.seed_versions({workload.key_for(i): 1 for i in range(20)})
         stats = runner.run_transactions(10)
         assert stats.issued == 10
         assert stats.success_rate > 0.8
@@ -99,3 +101,60 @@ class TestTransactionPhase:
         assert stats.throughput > 0
         assert stats.duration > 0
         assert stats.messages_per_node > 0
+
+    def test_messages_per_node_divided_by_alive_servers(self, loaded_cluster):
+        """Regression: the field used to store the raw handled-messages
+        delta; it must be the delta divided by the alive-server count,
+        as its name (and the paper's metric) promises."""
+        cluster, _, _ = loaded_cluster
+        runner = WorkloadRunner(cluster, WORKLOAD_A.scaled(20), seed=6)
+        before = cluster.server_message_load()["handled"] * len(cluster.servers)
+        stats = runner.run_transactions(10)
+        after = cluster.server_message_load()["handled"] * len(cluster.servers)
+        alive = sum(1 for s in cluster.servers if s.alive)
+        assert stats.messages_per_node == pytest.approx((after - before) / alive)
+
+
+class TestScanEdgeCases:
+    """Regression: a scan with no keys in range used to record a
+    ~0-latency success, dragging p50 toward zero."""
+
+    def test_scan_past_record_count_not_issued(self, loaded_cluster):
+        cluster, workload, _ = loaded_cluster
+        runner = WorkloadRunner(cluster, workload, seed=7)
+        stats = RunStats()
+        beyond = workload.key_for(workload.record_count + 5)
+        runner._execute(Operation(SCAN, beyond, scan_length=3), stats)
+        assert stats.not_issued == 1
+        assert stats.not_issued_by_kind == {SCAN: 1}
+        assert stats.issued == 0
+        assert stats.succeeded == 0
+        assert stats.latencies == {}
+        assert stats.offered == 1
+
+    def test_zero_length_scan_not_issued(self, loaded_cluster):
+        cluster, workload, _ = loaded_cluster
+        runner = WorkloadRunner(cluster, workload, seed=8)
+        stats = RunStats()
+        runner._execute(Operation(SCAN, workload.key_for(0), scan_length=0), stats)
+        assert stats.not_issued == 1
+        assert stats.issued == 0
+
+    def test_in_range_scan_still_succeeds(self, loaded_cluster):
+        cluster, workload, _ = loaded_cluster
+        runner = WorkloadRunner(cluster, workload, seed=9)
+        stats = RunStats()
+        runner._execute(Operation(SCAN, workload.key_for(0), scan_length=3), stats)
+        assert stats.issued == 1
+        assert stats.succeeded == 1
+        # A real scan takes real time: at least one network round trip.
+        assert stats.latencies[SCAN][0] > 0
+
+    def test_workload_e_mix_runs_clean(self, loaded_cluster):
+        cluster, _, _ = loaded_cluster
+        workload = WORKLOAD_E.scaled(20)
+        runner = WorkloadRunner(cluster, workload, seed=10)
+        stats = runner.run_transactions(15)
+        # Every op is accounted exactly once, issued or shed.
+        assert stats.offered == 15
+        assert stats.issued + stats.not_issued == 15

@@ -34,6 +34,7 @@ EXPECTED_BUNDLED = {
     "dht-crash-recover",
     "flash-crowd",
     "heterogeneous-latency",
+    "open-loop",
     "oracle-baseline",
     "oracle-fault-wave",
     "scale-20k",
@@ -343,7 +344,14 @@ class TestRunner:
 
 @pytest.mark.parametrize("name", sorted(EXPECTED_BUNDLED))
 def test_every_bundled_spec_runs_small(name):
-    result = run_scenario(small_spec(name), seed=1)
+    spec = small_spec(name)
+    if spec.workload.mode == "open":
+        # Open loop offers ops at a fixed rate: keep enough of them to
+        # outlast the measurement warmup, or nothing gets measured.
+        spec = spec.scaled(
+            operation_count=int(spec.workload.rate * (spec.workload.warmup + 1.5))
+        )
+    result = run_scenario(spec, seed=1)
     metrics = result.metrics
     assert result.scenario == name
     assert metrics["converged"] == 1.0
