@@ -11,6 +11,9 @@ Usage (after ``pip install -e .``)::
     python -m repro scenarios run catastrophic-failure --seed 7
     python -m repro scenarios sweep baseline --seeds 0 1 2 --jobs 4
     python -m repro scenarios validate my-spec.toml  # check without running
+    python -m repro hunt run --seed 7 --budget 8 --shrink --export specs/regressions
+    python -m repro hunt shrink --seed 7 --candidate 0
+    python -m repro hunt replay specs/regressions    # exit 1 if bounds break
 
 Each subcommand prints the same tables the benches emit, so the CLI is
 the quickest way to eyeball a result before running the full pytest
@@ -124,7 +127,98 @@ def build_parser() -> argparse.ArgumentParser:
         help="path to a spec file, or a bundled scenario name",
     )
 
+    hunt = sub.add_parser(
+        "hunt",
+        help="adversarial nemesis search (run, shrink, replay)",
+        description="Jepsen-style consistency hunter: sample randomized "
+        "fault schedules, score their damage against the oracle backend "
+        "on identical inputs, shrink violations to minimal reproducers, "
+        "and freeze them as regression specs.",
+    )
+    hunt_action = hunt.add_subparsers(dest="action", required=True)
+
+    hunt_run = hunt_action.add_parser(
+        "run", help="sample and score a budget of candidate schedules"
+    )
+    _add_hunt_options(hunt_run)
+    hunt_run.add_argument(
+        "--budget", type=int, default=8, help="candidate schedules to score"
+    )
+    hunt_run.add_argument(
+        "--shrink",
+        action="store_true",
+        help="also shrink the best violation to a minimal reproducer",
+    )
+    hunt_run.add_argument(
+        "--export",
+        metavar="DIR",
+        help="with --shrink: write the reproducer as a regression spec here",
+    )
+    hunt_run.add_argument(
+        "--log",
+        metavar="FILE",
+        help="write the canonical JSON hunt log here (byte-identical "
+        "across replays of the same seed/config — CI compares two directly)",
+    )
+    hunt_run.add_argument(
+        "--summary",
+        action="store_true",
+        help="print the canonical JSON hunt log instead of tables",
+    )
+
+    hunt_shrink = hunt_action.add_parser(
+        "shrink", help="shrink one candidate of a previous hunt by its index"
+    )
+    _add_hunt_options(hunt_shrink)
+    hunt_shrink.add_argument(
+        "--candidate", type=int, required=True, help="candidate index to shrink"
+    )
+    hunt_shrink.add_argument(
+        "--shrink-budget",
+        type=int,
+        default=40,
+        help="max score evaluations the shrinker may spend",
+    )
+    hunt_shrink.add_argument(
+        "--export",
+        metavar="DIR",
+        help="write the minimal reproducer as a regression spec here",
+    )
+
+    hunt_replay = hunt_action.add_parser(
+        "replay",
+        help="replay regression specs and check their expected-damage bounds",
+    )
+    hunt_replay.add_argument(
+        "specs",
+        nargs="+",
+        help="regression spec .toml files (or directories of them)",
+    )
+    hunt_replay.add_argument(
+        "--summary",
+        action="store_true",
+        help="print each replayed score as canonical JSON",
+    )
+
     return parser
+
+
+def _add_hunt_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--seed", type=int, default=0, help="search seed (derives every candidate)"
+    )
+    parser.add_argument(
+        "--stack", default="core", help="backend under test (default core)"
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=20, help="base-experiment population"
+    )
+    parser.add_argument(
+        "--records", type=int, default=8, help="records loaded before the fault phase"
+    )
+    parser.add_argument(
+        "--ops", type=int, default=40, help="transaction-phase operation count"
+    )
 
 
 def _add_scenario_selection(parser: argparse.ArgumentParser) -> None:
@@ -362,6 +456,140 @@ def _validate_spec(target: str) -> int:
     return 0
 
 
+def _hunt_config(args: argparse.Namespace) -> "HuntConfig":
+    from repro.search import HuntConfig
+
+    return HuntConfig(
+        search_seed=args.seed,
+        budget=getattr(args, "budget", 1),
+        stack=args.stack,
+        nodes=args.nodes,
+        records=args.records,
+        operations=args.ops,
+    )
+
+
+def _print_schedule(faults) -> None:
+    def targets(f) -> str:
+        if f.kind == "burst_loss":
+            return "all links"
+        if f.nodes:
+            return str(f.nodes)
+        if f.groups:
+            return str(f.groups)
+        return f"{f.fraction:g} of cluster"
+
+    rows = [
+        {
+            "kind": f.kind,
+            "start": f.start,
+            "duration": f.duration,
+            "targets": targets(f),
+            "loss": f.loss or "-",
+        }
+        for f in faults
+    ]
+    print(rows_to_table(rows, ["kind", "start", "duration", "targets", "loss"]))
+
+
+def _cmd_hunt(args: argparse.Namespace) -> int:
+    from repro.search import (
+        check_bounds,
+        export_candidate,
+        list_regressions,
+        load_regression,
+        run_hunt,
+        score_scenario,
+        shrink_candidate,
+    )
+
+    if args.action == "replay":
+        paths: List[str] = []
+        for target in args.specs:
+            found = list_regressions(target)
+            paths.extend(found if found else [target])
+        failures = 0
+        for path in paths:
+            try:
+                reg = load_regression(path)
+            except OSError as exc:
+                print(f"error: cannot read regression spec: {exc}")
+                return 2
+            score = score_scenario(reg.scenario)
+            problems = check_bounds(reg, score)
+            if args.summary:
+                print(score.summary_json())
+            status = "ok" if not problems else "FAIL"
+            print(f"{status}: {reg.name} ({path})")
+            for problem in problems:
+                print(f"  {problem}")
+                failures += 1
+        return 1 if failures else 0
+
+    config = _hunt_config(args)
+
+    if args.action == "shrink":
+        result = shrink_candidate(
+            config, args.candidate, shrink_budget=args.shrink_budget
+        )
+        print(
+            f"shrunk candidate {args.candidate} of seed {config.search_seed} "
+            f"to {result.injectors} injector(s) in {result.evals} evaluations"
+            + (" (budget exhausted)" if result.exhausted else "")
+        )
+        for step in result.steps:
+            print(f"  {step}")
+        _print_schedule(result.faults)
+        print(f"damage: {result.score.summary_json()}")
+        if args.export:
+            path = export_candidate(args.export, config, args.candidate, result)
+            print(f"exported regression spec: {path}")
+        return 0
+
+    # run
+    def progress(candidate) -> None:
+        if args.summary:
+            return
+        flag = "VIOLATION" if candidate.violation else "clean"
+        kinds = ",".join(f.kind for f in candidate.faults)
+        print(
+            f"candidate {candidate.index}: {flag:9s} "
+            f"total={candidate.score.total:g} [{kinds}]"
+        )
+
+    result = run_hunt(config, progress=progress)
+    log = result.log_json()
+    if args.log:
+        with open(args.log, "w", encoding="utf-8") as f:
+            f.write(log + "\n")
+    if args.summary:
+        print(log)
+    else:
+        print(
+            f"hunt: {len(result.violations)}/{config.budget} candidates "
+            f"violated consistency ({config.stack} vs {config.oracle_stack}, "
+            f"seed {config.search_seed})"
+        )
+    best = result.best
+    if best is None:
+        return 0
+    if not args.summary:
+        print(f"best: candidate {best.index} (damage {best.score.total:g})")
+        _print_schedule(best.faults)
+    if args.shrink:
+        shrunk = shrink_candidate(config, best.index, faults=best.faults)
+        if not args.summary:
+            print(
+                f"shrunk to {shrunk.injectors} injector(s) "
+                f"in {shrunk.evals} evaluations"
+            )
+            _print_schedule(shrunk.faults)
+        if args.export:
+            path = export_candidate(args.export, config, best.index, shrunk)
+            print(f"exported regression spec: {path}")
+    return 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "fig3": _cmd_fig3,
@@ -369,6 +597,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "backends": _cmd_backends,
     "scenarios": _cmd_scenarios,
+    "hunt": _cmd_hunt,
 }
 
 

@@ -98,6 +98,14 @@ class FaultInjector:
     ``start`` is relative to when the schedule is handed to the nemesis
     (the runner hands it over right after the settle phase, alongside
     churn injection).
+
+    Stateful injectors keep their revert state (block rules, condition
+    tokens, victim sets) in a FIFO of *activations*: one entry pushed per
+    :meth:`inject`, the oldest popped per :meth:`heal`. A single injector
+    instance may therefore be scheduled for several windows (the nemesis
+    composes schedules) without one window's heal reverting — or leaking
+    — another's state; inject/heal pairs match FIFO because every window
+    of one injector has the same duration.
     """
 
     kind = "fault"
@@ -154,7 +162,8 @@ class PartitionFault(FaultInjector):
         self.fraction = fraction
         self.groups = [list(g) for g in groups] if groups else []
         self.symmetric = symmetric
-        self._rules: List[int] = []
+        # FIFO of activations: one list of block-rule ids per inject.
+        self._rules: List[List[int]] = []
 
     def inject(self, ctx: FaultContext) -> None:
         if self.groups:
@@ -167,22 +176,23 @@ class PartitionFault(FaultInjector):
             chosen = set(groups[0])
             rest = [i for i in ctx.population() if i not in chosen]
             groups = [g for g in (groups[0], rest) if g]
+        rules: List[int] = []
+        self._rules.append(rules)
         if len(groups) < 2:
             return
         net = ctx.network
         if self.symmetric:
             for i in range(len(groups)):
                 for j in range(i + 1, len(groups)):
-                    self._rules.append(net.block(groups[i], groups[j]))
-                    self._rules.append(net.block(groups[j], groups[i]))
+                    rules.append(net.block(groups[i], groups[j]))
+                    rules.append(net.block(groups[j], groups[i]))
         else:
             others = [i for group in groups[1:] for i in group]
-            self._rules.append(net.block(groups[0], others))
+            rules.append(net.block(groups[0], others))
 
     def heal(self, ctx: FaultContext) -> None:
-        for rule in self._rules:
+        for rule in self._rules.pop(0) if self._rules else ():
             ctx.network.unblock(rule)
-        self._rules.clear()
 
 
 class DegradeFault(FaultInjector):
@@ -219,20 +229,24 @@ class DegradeFault(FaultInjector):
         self.nodes = list(nodes) if nodes else []
         self.loss = loss
         self.extra_latency = extra_latency
-        self._victims: List[int] = []
-        self._token: Optional[int] = None
+        # FIFO of activations: one condition-layer token (and its victim
+        # set, for observability) per inject.
+        self._tokens: List[int] = []
+        self._victims: List[List[int]] = []
 
     def inject(self, ctx: FaultContext) -> None:
-        self._victims = ctx.pick(self.fraction, self.nodes)
-        self._token = ctx.network.add_conditions(
-            self._victims, loss=self.loss, extra_latency=self.extra_latency
+        victims = ctx.pick(self.fraction, self.nodes)
+        self._victims.append(victims)
+        self._tokens.append(
+            ctx.network.add_conditions(
+                victims, loss=self.loss, extra_latency=self.extra_latency
+            )
         )
 
     def heal(self, ctx: FaultContext) -> None:
-        if self._token is not None:
-            ctx.network.remove_conditions(self._token)
-            self._token = None
-        self._victims.clear()
+        if self._tokens:
+            ctx.network.remove_conditions(self._tokens.pop(0))
+            self._victims.pop(0)
 
 
 class BurstLossFault(FaultInjector):
@@ -247,15 +261,15 @@ class BurstLossFault(FaultInjector):
         if not 0.0 < loss <= 1.0:
             raise ConfigurationError("burst loss must be in (0, 1]")
         self.loss = loss
-        self._token: Optional[int] = None
+        # FIFO of activations: one burst-window token per inject.
+        self._tokens: List[int] = []
 
     def inject(self, ctx: FaultContext) -> None:
-        self._token = ctx.network.add_burst_loss(self.loss)
+        self._tokens.append(ctx.network.add_burst_loss(self.loss))
 
     def heal(self, ctx: FaultContext) -> None:
-        if self._token is not None:
-            ctx.network.remove_burst_loss(self._token)
-            self._token = None
+        if self._tokens:
+            ctx.network.remove_burst_loss(self._tokens.pop(0))
 
 
 class CrashRecoverFault(FaultInjector):
@@ -283,10 +297,14 @@ class CrashRecoverFault(FaultInjector):
             raise ConfigurationError("crash_recover fraction must be in (0, 1)")
         self.fraction = fraction
         self.nodes = list(nodes) if nodes else []
-        self._victims: List[int] = []
+        # FIFO of activations: one victim set per inject. A node that is
+        # already dead at inject time is never claimed, so an overlapping
+        # fault's victims stay owned by (and healed with) that fault.
+        self._victims: List[List[int]] = []
 
     def inject(self, ctx: FaultContext) -> None:
-        self._victims = []
+        victims: List[int] = []
+        self._victims.append(victims)
         for node_id in ctx.pick(self.fraction, self.nodes):
             if ctx.controller is not None:
                 node = ctx.controller.kill(node_id)
@@ -297,15 +315,14 @@ class CrashRecoverFault(FaultInjector):
                 else:
                     node = None
             if node is not None:
-                self._victims.append(node_id)
+                victims.append(node_id)
 
     def heal(self, ctx: FaultContext) -> None:
-        for node_id in self._victims:
+        for node_id in self._victims.pop(0) if self._victims else ():
             if ctx.controller is not None:
                 ctx.controller.recover(node_id)
             else:
                 self._recover_bare(ctx, node_id)
-        self._victims.clear()
 
     @staticmethod
     def _recover_bare(ctx: FaultContext, node_id: int) -> None:

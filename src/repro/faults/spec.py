@@ -2,7 +2,9 @@
 
 A :class:`FaultSpec` is one entry of a scenario's ``[[faults]]`` array:
 what kind of fault, when it starts (seconds after the fault phase
-begins, i.e. after load + settle), how long it lasts, and who it hits.
+begins, i.e. after load + settle), how long it lasts (``duration``, or
+equivalently an absolute ``end`` instant in spec files — rejected when
+it does not lie after ``start``), and who it hits.
 ``build()`` maps it onto the runtime injector from
 :mod:`repro.faults.injectors`; parsing/serialisation follows the same
 dataclass round-trip conventions as the rest of
@@ -64,6 +66,11 @@ class FaultSpec:
             raise ConfigurationError("fault start must be non-negative")
         if self.duration <= 0:
             raise ConfigurationError("fault duration must be positive")
+        for group in self.groups:
+            if not group:
+                raise ConfigurationError(
+                    "fault target groups must not be empty; drop the entry instead"
+                )
         # Kind-specific constraints surface at spec time, not run time:
         # validation (and `repro scenarios validate`) just builds.
         self.build()

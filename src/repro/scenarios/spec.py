@@ -419,6 +419,19 @@ def spec_from_dict(data: Dict[str, Any]) -> ScenarioSpec:
                 entry["nodes"] = list(entry["nodes"])
             if "groups" in entry:
                 entry["groups"] = [list(g) for g in entry["groups"]]
+            if "end" in entry:
+                # Sugar: an absolute end instant instead of a duration.
+                if "duration" in entry:
+                    raise ConfigurationError(
+                        "fault entry takes either duration or end, not both"
+                    )
+                end = entry.pop("end")
+                start = entry.get("start", 0.0)
+                if end <= start:
+                    raise ConfigurationError(
+                        f"fault end ({end}) must be after start ({start})"
+                    )
+                entry["duration"] = end - start
             spec.faults.append(FaultSpec(**_filter_kwargs(FaultSpec, entry, "fault")))
     if workload is not None:
         spec.workload = WorkloadSpec(

@@ -1,0 +1,294 @@
+"""Regression-spec export and replay loading.
+
+Every violation the hunter shrinks becomes a permanent regression spec:
+a TOML file bundling
+
+* ``[scenario]`` — the complete :class:`~repro.scenarios.spec.ScenarioSpec`
+  of the minimal reproducer (stack, population, seed, workload, and the
+  shrunk ``[[scenario.faults]]`` schedule) — loadable by
+  :func:`~repro.scenarios.spec.spec_from_dict` unchanged,
+* ``[expect]`` — expected-damage bounds: ``<component>_min`` /
+  ``<component>_max`` pairs over the :class:`~repro.search.scorer
+  .DamageScore` components. Replay is deterministic, so the exporter
+  records exact bounds; loosen them by hand if a spec must tolerate
+  drift (they are ordinary TOML),
+* ``[provenance]`` — where the reproducer came from (search seed,
+  candidate index, shrink evaluations), so ``repro hunt shrink`` can
+  re-derive it from two integers.
+
+The emitter writes deterministic TOML (fixed key order, fixed float
+formatting): exporting the same reproducer twice produces byte-identical
+files, extending the replay contract to the exported artifact itself.
+
+The repository keeps its found reproducers in ``specs/regressions/`` at
+the repo root; ``tests/test_regressions.py`` auto-runs every spec there
+as a tier-1 regression gate.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping
+
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import ScenarioSpec, spec_from_dict
+from repro.search.scorer import DamageScore
+
+__all__ = [
+    "RegressionSpec",
+    "dumps_toml",
+    "scenario_to_toml",
+    "export_regression",
+    "load_regression",
+    "list_regressions",
+    "check_bounds",
+]
+
+SCHEMA_VERSION = 1
+
+# Damage components the exporter bounds and the harness asserts.
+BOUND_COMPONENTS = (
+    "stale_reads",
+    "lost_updates",
+    "lost_objects",
+    "unavail_excess",
+    "total",
+)
+
+_BARE_KEY = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+# ------------------------------------------------------------ TOML writing
+
+
+def dumps_toml(data: Mapping[str, Any]) -> str:
+    """Serialise a plain mapping as TOML.
+
+    Supports what scenario/regression specs need: strings, bools,
+    ints/floats, homogeneous lists (nested lists included), nested
+    mappings (as ``[table]``) and lists of mappings (as ``[[table]]``).
+    Key order follows the mapping's insertion order, scalars before
+    sub-tables, so output is deterministic for a deterministically built
+    dict. The result round-trips through :mod:`tomllib`.
+    """
+    lines: List[str] = []
+    _emit_table(data, prefix="", lines=lines)
+    return "\n".join(lines) + "\n"
+
+
+def _emit_table(table: Mapping[str, Any], prefix: str, lines: List[str]) -> None:
+    scalars = [(k, v) for k, v in table.items() if not _is_table_like(v)]
+    nested = [(k, v) for k, v in table.items() if _is_table_like(v)]
+    for key, value in scalars:
+        lines.append(f"{_format_key(key)} = {_format_value(value)}")
+    for key, value in nested:
+        path = f"{prefix}{_format_key(key)}"
+        if isinstance(value, Mapping):
+            if lines:
+                lines.append("")
+            lines.append(f"[{path}]")
+            _emit_table(value, prefix=f"{path}.", lines=lines)
+        else:  # list of mappings
+            for entry in value:
+                if lines:
+                    lines.append("")
+                lines.append(f"[[{path}]]")
+                _emit_table(entry, prefix=f"{path}.", lines=lines)
+
+
+def _is_table_like(value: Any) -> bool:
+    if isinstance(value, Mapping):
+        return True
+    return (
+        isinstance(value, (list, tuple))
+        and len(value) > 0
+        and all(isinstance(v, Mapping) for v in value)
+    )
+
+
+def _format_key(key: str) -> str:
+    if _BARE_KEY.match(key):
+        return key
+    return _format_string(key)
+
+
+def _format_value(value: Any) -> str:
+    # bool before int: bool is an int subclass.
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ConfigurationError(f"cannot serialise non-finite float {value!r}")
+        text = repr(value)
+        return text if ("." in text or "e" in text or "E" in text) else text + ".0"
+    if isinstance(value, str):
+        return _format_string(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_format_value(v) for v in value) + "]"
+    raise ConfigurationError(
+        f"cannot serialise {type(value).__name__!r} value {value!r} as TOML"
+    )
+
+
+def _format_string(value: str) -> str:
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    escaped = escaped.replace("\n", "\\n").replace("\t", "\\t").replace("\r", "\\r")
+    return f'"{escaped}"'
+
+
+def scenario_to_toml(spec: ScenarioSpec) -> str:
+    """``spec`` as a standalone TOML document —
+    :func:`~repro.scenarios.spec.load_spec` reads it back exactly
+    (optional fields that are ``None`` are omitted; TOML has no null)."""
+    return dumps_toml(_strip_none(spec.to_dict()))
+
+
+# ------------------------------------------------------- regression specs
+
+
+@dataclass
+class RegressionSpec:
+    """A loaded regression file: the reproducer scenario plus its
+    expected-damage bounds and provenance."""
+
+    name: str
+    scenario: ScenarioSpec
+    expect: Dict[str, float]
+    provenance: Dict[str, Any]
+    path: str = ""
+
+    def bound(self, component: str) -> tuple:
+        """``(min, max)`` for one damage component (missing bounds are
+        open on that side)."""
+        return (
+            self.expect.get(f"{component}_min", float("-inf")),
+            self.expect.get(f"{component}_max", float("inf")),
+        )
+
+
+def export_regression(
+    directory: str,
+    scenario: ScenarioSpec,
+    score: DamageScore,
+    provenance: Mapping[str, Any],
+) -> str:
+    """Write ``scenario`` + exact damage bounds as
+    ``<directory>/<scenario.name>.toml``; returns the path.
+
+    The scenario must already carry the shrunk fault schedule and the
+    seed the score was measured at (the hunter guarantees both).
+    """
+    doc: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        # TOML has no null; optional spec fields that are None are simply
+        # omitted and come back as their defaults from spec_from_dict.
+        "scenario": _strip_none(scenario.to_dict()),
+        "expect": _bounds(score),
+        "provenance": dict(provenance),
+    }
+    text = (
+        "# Regression reproducer found by `repro hunt` — do not edit the\n"
+        "# [scenario] table; the [expect] bounds may be loosened by hand.\n"
+        + dumps_toml(doc)
+    )
+    _parse_regression(doc, source="export")  # round-trip sanity before writing
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{scenario.name}.toml")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+    return path
+
+
+def _strip_none(value: Any) -> Any:
+    if isinstance(value, Mapping):
+        return {k: _strip_none(v) for k, v in value.items() if v is not None}
+    if isinstance(value, (list, tuple)):
+        return [_strip_none(v) for v in value]
+    return value
+
+
+def _bounds(score: DamageScore) -> Dict[str, float]:
+    expect: Dict[str, float] = {}
+    for component in BOUND_COMPONENTS:
+        value = float(score.components()[component])
+        expect[f"{component}_min"] = value
+        expect[f"{component}_max"] = value
+    return expect
+
+
+def load_regression(path: str) -> RegressionSpec:
+    """Load and validate one regression spec file."""
+    import tomllib
+
+    with open(path, "rb") as f:
+        try:
+            doc = tomllib.load(f)
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigurationError(f"invalid regression spec {path!r}: {exc}") from None
+    spec = _parse_regression(doc, source=path)
+    spec.path = path
+    return spec
+
+
+def _parse_regression(doc: Mapping[str, Any], source: str) -> RegressionSpec:
+    if doc.get("schema") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"regression spec {source!r} has schema {doc.get('schema')!r}; "
+            f"this build reads schema {SCHEMA_VERSION}"
+        )
+    for table in ("scenario", "expect"):
+        if not isinstance(doc.get(table), Mapping):
+            raise ConfigurationError(
+                f"regression spec {source!r} needs a [{table}] table"
+            )
+    scenario = spec_from_dict(dict(doc["scenario"]))
+    expect: Dict[str, float] = {}
+    for key, value in doc["expect"].items():
+        if not key.endswith(("_min", "_max")):
+            raise ConfigurationError(
+                f"regression spec {source!r}: [expect] keys end in _min/_max, got {key!r}"
+            )
+        component = key.rsplit("_", 1)[0]
+        if component not in BOUND_COMPONENTS:
+            raise ConfigurationError(
+                f"regression spec {source!r}: unknown damage component {component!r}; "
+                f"choose from {BOUND_COMPONENTS}"
+            )
+        expect[key] = float(value)
+    return RegressionSpec(
+        name=scenario.name,
+        scenario=scenario,
+        expect=expect,
+        provenance=dict(doc.get("provenance", {})),
+    )
+
+
+def list_regressions(directory: str) -> List[str]:
+    """Sorted paths of every ``*.toml`` regression spec in ``directory``
+    (empty when the directory does not exist)."""
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, entry)
+        for entry in os.listdir(directory)
+        if entry.endswith(".toml")
+    )
+
+
+def check_bounds(reg: RegressionSpec, score: DamageScore) -> List[str]:
+    """Compare a replayed score against the spec's bounds; returns a
+    human-readable list of violations (empty = within bounds)."""
+    failures: List[str] = []
+    components = score.components()
+    for component in BOUND_COMPONENTS:
+        low, high = reg.bound(component)
+        value = components[component]
+        if not low <= value <= high:
+            failures.append(
+                f"{component} = {value:g}, expected within [{low:g}, {high:g}]"
+            )
+    return failures

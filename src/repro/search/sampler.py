@@ -1,0 +1,115 @@
+"""Randomized fault-schedule sampling for the adversarial hunter.
+
+A *candidate* is one randomized nemesis schedule: a handful of
+:class:`~repro.faults.spec.FaultSpec` entries with randomized kinds,
+victim fractions, windows and overlaps, drawn inside a
+:class:`SampleSpace` envelope. Candidate ``i`` of search seed ``S`` is
+produced by a private ``random.Random(derive_seed(S, "hunt.schedule.i"))``
+stream, so:
+
+* the same ``(S, i)`` pair regenerates the schedule byte-identically —
+  a found violation is replayable from two integers, no schedule file
+  needed (the exporter still writes one for humans and CI),
+* candidates are independent: changing the budget, skipping candidates
+  or shrinking one never perturbs the schedules of the others.
+
+Values are rounded to two decimals so sampled schedules read like the
+hand-written ``[[faults]]`` entries in the bundled scenarios.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.faults.spec import FAULT_KINDS, FaultSpec
+from repro.sim.rng import derive_seed
+
+__all__ = ["SampleSpace", "sample_schedule"]
+
+
+@dataclass
+class SampleSpace:
+    """The envelope candidates are drawn from.
+
+    ``horizon`` bounds the fault phase: every sampled window lies inside
+    ``[0, horizon)``, so windows overlap freely but the schedule never
+    outlives the transaction phase by much. Fractional victim sets stay
+    within ``[min_fraction, max_fraction]`` — large enough to bite,
+    small enough that the cluster plausibly survives.
+    """
+
+    kinds: tuple = FAULT_KINDS
+    min_faults: int = 1
+    max_faults: int = 3
+    horizon: float = 20.0
+    min_duration: float = 2.0
+    min_fraction: float = 0.1
+    max_fraction: float = 0.45
+    min_loss: float = 0.2
+    max_loss: float = 0.9
+    max_extra_latency: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_faults <= self.max_faults:
+            raise ConfigurationError("need 1 <= min_faults <= max_faults")
+        if self.horizon <= self.min_duration or self.min_duration <= 0:
+            raise ConfigurationError("need 0 < min_duration < horizon")
+        if not 0.0 < self.min_fraction <= self.max_fraction < 1.0:
+            raise ConfigurationError("need 0 < min_fraction <= max_fraction < 1")
+        if not 0.0 < self.min_loss <= self.max_loss <= 1.0:
+            raise ConfigurationError("need 0 < min_loss <= max_loss <= 1")
+        for kind in self.kinds:
+            if kind not in FAULT_KINDS:
+                raise ConfigurationError(
+                    f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}"
+                )
+
+
+def sample_schedule(
+    search_seed: int, index: int, space: SampleSpace
+) -> List[FaultSpec]:
+    """Candidate ``index`` of search seed ``search_seed``: a randomized
+    fault schedule inside ``space``, sorted by start time."""
+    rng = random.Random(derive_seed(search_seed, f"hunt.schedule.{index}"))
+    count = rng.randint(space.min_faults, space.max_faults)
+    faults = [_sample_fault(rng, space) for _ in range(count)]
+    faults.sort(key=lambda f: (f.start, f.kind))
+    return faults
+
+
+def _sample_fault(rng: random.Random, space: SampleSpace) -> FaultSpec:
+    kind = rng.choice(space.kinds)
+    start = round(rng.uniform(0.0, space.horizon - space.min_duration), 2)
+    duration = round(
+        rng.uniform(space.min_duration, max(space.min_duration, space.horizon - start)),
+        2,
+    )
+    fraction = round(rng.uniform(space.min_fraction, space.max_fraction), 2)
+    if kind == "partition":
+        return FaultSpec(
+            kind=kind,
+            start=start,
+            duration=duration,
+            fraction=fraction,
+            symmetric=rng.random() < 0.5,
+        )
+    if kind == "degrade":
+        loss = round(rng.uniform(space.min_loss, space.max_loss), 2)
+        extra_latency = 0.0
+        if rng.random() < 0.5 and space.max_extra_latency > 0:
+            extra_latency = round(rng.uniform(0.05, space.max_extra_latency), 2)
+        return FaultSpec(
+            kind=kind,
+            start=start,
+            duration=duration,
+            fraction=fraction,
+            loss=loss,
+            extra_latency=extra_latency,
+        )
+    if kind == "burst_loss":
+        loss = round(rng.uniform(space.min_loss, space.max_loss), 2)
+        return FaultSpec(kind=kind, start=start, duration=duration, loss=max(loss, 0.01))
+    return FaultSpec(kind="crash_recover", start=start, duration=duration, fraction=fraction)

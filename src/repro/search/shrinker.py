@@ -1,0 +1,172 @@
+"""Delta-debugging a violating schedule down to a minimal reproducer.
+
+Jepsen finds a violation and hands you a thousand-line history; the
+useful artifact is the three-line schedule that still breaks the store.
+:func:`shrink_schedule` takes a violating fault schedule and greedily
+applies reduction passes, re-scoring each trial on the full
+target-vs-oracle pipeline and keeping a reduction only if the smaller
+schedule *still violates*:
+
+1. **drop injectors** — remove whole entries, one at a time,
+2. **narrow windows** — halve each fault's duration (down to a floor)
+   and round its start,
+3. **shrink target sets** — halve victim fractions toward a floor, and
+   halve explicit ``nodes`` / ``groups`` member lists.
+
+Passes repeat until a full cycle produces no accepted reduction or the
+evaluation budget runs out. Everything is deterministic: trials are
+generated in a fixed order and scoring replays byte-identically, so the
+same input shrinks to the same reproducer every time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List
+
+from repro.errors import ConfigurationError
+from repro.faults.spec import FaultSpec
+from repro.search.scorer import DamageScore
+
+__all__ = ["ShrinkResult", "shrink_schedule"]
+
+# Floors the reduction passes never cross: a window shorter than this or
+# a victim set thinner than this is no longer a meaningful fault.
+MIN_DURATION = 1.0
+MIN_FRACTION = 0.05
+
+ScoreFn = Callable[[List[FaultSpec]], DamageScore]
+
+
+@dataclass
+class ShrinkResult:
+    """A minimal (under the pass vocabulary and budget) reproducer."""
+
+    faults: List[FaultSpec]
+    score: DamageScore
+    evals: int
+    steps: List[str] = field(default_factory=list)
+    exhausted: bool = False  # budget ran out mid-cycle
+
+    @property
+    def injectors(self) -> int:
+        return len(self.faults)
+
+
+def shrink_schedule(
+    faults: List[FaultSpec],
+    score_fn: ScoreFn,
+    budget: int = 40,
+) -> ShrinkResult:
+    """Greedily reduce ``faults`` while ``score_fn`` still reports a
+    violation; ``budget`` caps the number of score evaluations (the
+    initial confirmation of the input schedule counts as one)."""
+    if budget < 1:
+        raise ConfigurationError(f"shrink budget must be >= 1, got {budget}")
+    score = score_fn(faults)
+    if not score.violation:
+        raise ConfigurationError(
+            "shrink_schedule needs a violating schedule to start from"
+        )
+    state = _Shrink(list(faults), score, score_fn, budget - 1)
+    changed = True
+    while changed and not state.exhausted:
+        changed = False
+        changed |= state.pass_drop()
+        changed |= state.pass_narrow()
+        changed |= state.pass_thin()
+    return ShrinkResult(
+        faults=state.faults,
+        score=state.score,
+        evals=state.evals + 1,
+        steps=state.steps,
+        exhausted=state.exhausted,
+    )
+
+
+class _Shrink:
+    def __init__(
+        self, faults: List[FaultSpec], score: DamageScore, score_fn: ScoreFn, budget: int
+    ) -> None:
+        self.faults = faults
+        self.score = score
+        self.score_fn = score_fn
+        self.budget = budget
+        self.evals = 0
+        self.steps: List[str] = []
+        self.exhausted = False
+
+    def _try(self, trial: List[FaultSpec], label: str) -> bool:
+        """Score ``trial``; adopt it (and log ``label``) if it still
+        violates. Returns whether it was adopted."""
+        if self.evals >= self.budget:
+            self.exhausted = True
+            return False
+        self.evals += 1
+        trial_score = self.score_fn(trial)
+        if trial_score.violation:
+            self.faults = trial
+            self.score = trial_score
+            self.steps.append(label)
+            return True
+        return False
+
+    def pass_drop(self) -> bool:
+        """Try removing each injector; keep the schedule without it when
+        the remainder still violates."""
+        changed = False
+        i = 0
+        while i < len(self.faults) and len(self.faults) > 1 and not self.exhausted:
+            fault = self.faults[i]
+            trial = self.faults[:i] + self.faults[i + 1 :]
+            if self._try(trial, f"drop {fault.kind}@{fault.start:g}"):
+                changed = True  # same index now names the next injector
+            else:
+                i += 1
+        return changed
+
+    def pass_narrow(self) -> bool:
+        """Halve each fault's window (floored) and snap starts to one
+        decimal, so the reproducer's timeline reads cleanly."""
+        changed = False
+        for i in range(len(self.faults)):
+            if self.exhausted:
+                break
+            fault = self.faults[i]
+            duration = round(max(MIN_DURATION, fault.duration / 2.0), 2)
+            start = round(fault.start, 1)
+            if duration >= fault.duration and start == fault.start:
+                continue
+            trial = list(self.faults)
+            trial[i] = replace(fault, start=start, duration=duration)
+            if self._try(trial, f"narrow {fault.kind} to {duration:g}s"):
+                changed = True
+        return changed
+
+    def pass_thin(self) -> bool:
+        """Halve victim fractions toward the floor and halve explicit
+        victim lists (keep the front half — ids were drawn sorted)."""
+        changed = False
+        for i in range(len(self.faults)):
+            if self.exhausted:
+                break
+            fault = self.faults[i]
+            updates = {}
+            if not fault.nodes and not fault.groups and fault.kind != "burst_loss":
+                fraction = round(max(MIN_FRACTION, fault.fraction / 2.0), 2)
+                if fraction < fault.fraction:
+                    updates["fraction"] = fraction
+            if len(fault.nodes) > 1:
+                updates["nodes"] = fault.nodes[: (len(fault.nodes) + 1) // 2]
+            if fault.groups and max(len(g) for g in fault.groups) > 1:
+                updates["groups"] = [
+                    g[: (len(g) + 1) // 2] if len(g) > 1 else list(g)
+                    for g in fault.groups
+                ]
+            if not updates:
+                continue
+            trial = list(self.faults)
+            trial[i] = replace(fault, **updates)
+            if self._try(trial, f"thin {fault.kind} victims"):
+                changed = True
+        return changed

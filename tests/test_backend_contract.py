@@ -160,6 +160,56 @@ class TestChurn:
         assert len(backend.directory()) == population
         assert controller.leaves == 1 and controller.recoveries == 1
 
+    @pytest.mark.parametrize("stack", sorted(EXPECTED_BUILTINS))
+    def test_join_grows_the_directory(self, stack):
+        _, backend = deployed(stack, seed=12)
+        population = len(backend.directory())
+        controller = backend.churn_controller()
+        joiner = controller.join()
+        assert joiner is not None and joiner.alive
+        assert controller.joins == 1
+        assert len(backend.directory()) == population + 1
+        assert joiner.id in backend.directory()
+
+    @pytest.mark.parametrize("stack", sorted(EXPECTED_BUILTINS))
+    def test_kill_fraction_scopes_to_the_alive_population(self, stack):
+        _, backend = deployed(stack, seed=13)
+        population = len(backend.directory())
+        controller = backend.churn_controller()
+        victims = controller.kill_fraction(0.25)
+        assert len(victims) == int(population * 0.25)
+        assert all(not v.alive for v in victims)
+        assert len(backend.directory()) == population - len(victims)
+        assert controller.leaves == len(victims)
+
+    @pytest.mark.parametrize("stack", sorted(EXPECTED_BUILTINS))
+    def test_recover_of_alive_or_unknown_node_is_a_noop(self, stack):
+        _, backend = deployed(stack, seed=14)
+        controller = backend.churn_controller()
+        alive_id = backend.directory()[0]
+        assert controller.recover(alive_id) is None
+        assert controller.recover(10**9) is None  # never existed
+        assert controller.recoveries == 0
+
+
+class TestReplicationMetrics:
+    @pytest.mark.parametrize("stack", sorted(EXPECTED_BUILTINS))
+    def test_replication_block_reported_for_every_backend(self, stack):
+        """The cross-stack ``replication`` metric group: every backend
+        reports mean/min/lost over the loaded keys, and a fault-free run
+        never loses an object."""
+        spec = contract_spec(
+            stack,
+            workload=WorkloadSpec(preset="write-only", record_count=6),
+            metrics=("workload", "replication"),
+        )
+        metrics = run_scenario(spec, seed=15).metrics
+        for name in ("replication_mean", "replication_min", "replication_lost"):
+            assert name in metrics, f"{stack} missing {name}"
+        assert metrics["replication_min"] >= 1.0
+        assert metrics["replication_mean"] >= metrics["replication_min"]
+        assert metrics["replication_lost"] == 0.0
+
 
 # ------------------------------------------------------------- determinism
 

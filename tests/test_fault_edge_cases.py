@@ -1,0 +1,237 @@
+"""Fault-injector edge cases: overlapping windows, heal/inject ordering
+at coincident instants, reused injector instances, and recovery of nodes
+that are already alive (or already dead).
+
+These pin down the composition semantics the adversarial hunter
+(:mod:`repro.search`) relies on: overlapping schedules must compose and
+unwind without one fault reverting — or leaking — another's state.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    BurstLossFault,
+    CrashRecoverFault,
+    DegradeFault,
+    FaultSpec,
+    Nemesis,
+    PartitionFault,
+)
+
+from tests.conftest import build_cluster
+
+
+def build_nemesis(n: int = 24, seed: int = 91):
+    cluster = build_cluster(n=n, seed=seed)
+    controller = cluster.churn_controller()
+    nemesis = Nemesis(cluster.sim, cluster=cluster, controller=controller)
+    return cluster, controller, nemesis
+
+
+def fault_free(sim) -> bool:
+    return sim.network._fault_free
+
+
+# ------------------------------------------------- overlapping partitions
+
+
+class TestOverlappingPartitions:
+    def test_same_links_compose_and_unwind_in_order(self):
+        """Two partitions cutting the *same* links on staggered windows:
+        the first heal must not reconnect links the second still cuts."""
+        cluster, _, nemesis = build_nemesis()
+        ids = sorted(s.id for s in cluster.servers)
+        group = ids[:6]
+        first = PartitionFault(start=0.0, duration=6.0, groups=[group])
+        second = PartitionFault(start=3.0, duration=6.0, groups=[group])
+        nemesis.schedule([first, second])
+        sim = cluster.sim
+
+        sim.run_for(4.0)  # both active
+        assert sim.network._crosses_partition(group[0], ids[-1])
+        sim.run_for(3.0)  # t=7: first healed, second still active
+        assert nemesis.healed == 1
+        assert sim.network._crosses_partition(group[0], ids[-1])
+        sim.run_for(3.0)  # t=10: both healed
+        assert nemesis.healed == 2
+        assert not sim.network._crosses_partition(group[0], ids[-1])
+        assert fault_free(sim)
+
+    def test_reused_injector_instance_keeps_windows_separate(self):
+        """One injector object scheduled for two windows (the nemesis
+        composes schedules): the first window's heal must revert only the
+        first window's block rules."""
+        cluster, _, nemesis = build_nemesis(seed=92)
+        ids = sorted(s.id for s in cluster.servers)
+        fault = PartitionFault(start=0.0, duration=5.0, groups=[ids[:5]])
+        nemesis.schedule([fault])
+        nemesis.schedule([fault], base=cluster.sim.now + 2.0)  # window [2, 7)
+        sim = cluster.sim
+
+        sim.run_for(6.0)  # t=6: first window healed, second still open
+        assert nemesis.injected == 2 and nemesis.healed == 1
+        assert sim.network._crosses_partition(ids[0], ids[-1])
+        sim.run_for(2.0)  # t=8: both healed
+        assert nemesis.healed == 2
+        assert not sim.network._crosses_partition(ids[0], ids[-1])
+        assert fault_free(sim)
+
+
+# ------------------------------------------- heal/inject at one instant
+
+
+class TestHealInjectOrdering:
+    def test_back_to_back_windows_on_same_links(self):
+        """Fault B starts exactly when fault A heals. Scheduler ties break
+        by scheduling order (A's heal was scheduled before B's inject), so
+        the cut is continuous across the boundary and fully reverts at
+        B's end."""
+        cluster, _, nemesis = build_nemesis(seed=93)
+        ids = sorted(s.id for s in cluster.servers)
+        a = PartitionFault(start=0.0, duration=4.0, groups=[ids[:4]])
+        b = PartitionFault(start=4.0, duration=4.0, groups=[ids[:4]])
+        nemesis.schedule([a, b])
+        sim = cluster.sim
+
+        sim.run_for(5.0)  # past the boundary
+        assert nemesis.injected == 2 and nemesis.healed == 1
+        assert sim.network._crosses_partition(ids[0], ids[-1])
+        sim.run_for(4.0)
+        assert nemesis.healed == 2
+        assert fault_free(sim)
+
+    def test_spec_order_decides_ties_deterministically(self):
+        """B listed *before* A but starting at A's end: B's inject is
+        scheduled first, so at the shared instant B injects before A
+        heals. Either order must leave a consistent final state."""
+        cluster, _, nemesis = build_nemesis(seed=94)
+        ids = sorted(s.id for s in cluster.servers)
+        b = PartitionFault(start=4.0, duration=4.0, groups=[ids[:4]])
+        a = PartitionFault(start=0.0, duration=4.0, groups=[ids[:4]])
+        nemesis.schedule([b, a])
+        sim = cluster.sim
+        sim.run_for(9.0)
+        assert nemesis.injected == 2 and nemesis.healed == 2
+        assert fault_free(sim)
+
+
+# -------------------------------------------------- crash-recover edges
+
+
+class TestCrashRecoverEdges:
+    def test_recover_of_already_alive_node_is_a_noop(self):
+        cluster, controller, _ = build_nemesis(seed=95)
+        alive_id = next(s.id for s in cluster.servers if s.alive)
+        assert controller.recover(alive_id) is None
+        assert controller.recoveries == 0
+
+    def test_manual_recovery_before_heal_does_not_double_recover(self):
+        """A victim revived out of band (operator intervention) before the
+        fault's heal: heal must not crash, double-count, or re-bootstrap
+        the node a second time."""
+        cluster, controller, nemesis = build_nemesis(seed=96)
+        victim_id = sorted(s.id for s in cluster.servers)[0]
+        fault = CrashRecoverFault(start=0.0, duration=6.0, nodes=[victim_id])
+        nemesis.schedule([fault])
+        sim = cluster.sim
+
+        sim.run_for(2.0)
+        victim = sim.nodes[victim_id]
+        assert not victim.alive
+        assert controller.recover(victim_id) is victim  # manual revival
+        assert victim.alive and controller.recoveries == 1
+        sim.run_for(6.0)  # heal fires at t=6 against an alive node
+        assert nemesis.healed == 1
+        assert victim.alive
+        assert controller.recoveries == 1  # heal's recover was a no-op
+
+    def test_already_dead_node_is_not_claimed_as_victim(self):
+        """An explicit victim that is already crashed belongs to whoever
+        crashed it: the fault must not adopt it, and must not revive it
+        at heal time."""
+        cluster, controller, nemesis = build_nemesis(seed=97)
+        victim_id = sorted(s.id for s in cluster.servers)[0]
+        controller.kill(victim_id)
+        fault = CrashRecoverFault(start=0.0, duration=4.0, nodes=[victim_id])
+        nemesis.schedule([fault])
+        sim = cluster.sim
+
+        sim.run_for(5.0)  # inject and heal both fired
+        assert nemesis.injected == 1 and nemesis.healed == 1
+        assert fault._victims == []
+        assert not sim.nodes[victim_id].alive  # still owned by the killer
+        assert controller.recoveries == 0
+
+    def test_overlapping_explicit_windows_share_no_victims(self):
+        """Two crash-recover faults naming the same node on overlapping
+        windows: the second finds it already dead, so only the first
+        window's heal revives it — once."""
+        cluster, controller, nemesis = build_nemesis(seed=98)
+        victim_id = sorted(s.id for s in cluster.servers)[0]
+        first = CrashRecoverFault(start=0.0, duration=6.0, nodes=[victim_id])
+        second = CrashRecoverFault(start=2.0, duration=6.0, nodes=[victim_id])
+        nemesis.schedule([first, second])
+        sim = cluster.sim
+
+        sim.run_for(7.0)  # first healed at t=6
+        assert sim.nodes[victim_id].alive
+        assert controller.leaves == 1 and controller.recoveries == 1
+        sim.run_for(2.0)  # second heals at t=8: nothing left to revive
+        assert nemesis.healed == 2
+        assert controller.recoveries == 1
+
+
+# ------------------------------------------------ degradation and bursts
+
+
+class TestDegradeAndBurstEdges:
+    def test_reused_degrade_injector_unwinds_fifo(self):
+        cluster, _, nemesis = build_nemesis(seed=99)
+        fault = DegradeFault(start=0.0, duration=5.0, fraction=0.2, loss=0.4)
+        nemesis.schedule([fault])
+        nemesis.schedule([fault], base=cluster.sim.now + 2.0)
+        sim = cluster.sim
+
+        sim.run_for(6.0)  # first window healed, second still degrading
+        assert len(sim.network._condition_layers) == 1
+        sim.run_for(2.0)
+        assert sim.network._condition_layers == {}
+        assert fault_free(sim)
+
+    def test_reused_burst_injector_unwinds_fifo(self):
+        cluster, _, nemesis = build_nemesis(seed=100)
+        fault = BurstLossFault(start=0.0, duration=4.0, loss=0.5)
+        nemesis.schedule([fault])
+        nemesis.schedule([fault], base=cluster.sim.now + 2.0)
+        sim = cluster.sim
+
+        sim.run_for(5.0)  # t=5: first window closed, second open
+        assert len(sim.network._burst_layers) == 1
+        sim.run_for(2.0)
+        assert sim.network._burst_layers == {}
+        assert fault_free(sim)
+
+    def test_double_heal_is_idempotent(self):
+        cluster, _, _ = build_nemesis(seed=101)
+        from repro.faults import FaultContext
+
+        ctx = FaultContext(cluster.sim, cluster=cluster)
+        fault = DegradeFault(start=0.0, duration=2.0, fraction=0.2, loss=0.3)
+        fault.inject(ctx)
+        fault.heal(ctx)
+        fault.heal(ctx)  # nothing queued: must not raise or pop a stranger
+        assert fault_free(cluster.sim)
+
+
+# ------------------------------------------------------- spec validation
+
+
+class TestFaultSpecTargets:
+    def test_empty_target_group_rejected(self):
+        with pytest.raises(ConfigurationError, match="must not be empty"):
+            FaultSpec(kind="partition", groups=[[1, 2], []])
+
+    def test_single_empty_group_rejected(self):
+        with pytest.raises(ConfigurationError, match="must not be empty"):
+            FaultSpec(kind="partition", groups=[[]])

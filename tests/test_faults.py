@@ -166,8 +166,8 @@ class TestDegradeAndBurstLoss:
         fault = DegradeFault(start=0.0, duration=4.0, fraction=0.25, loss=0.3, extra_latency=0.05)
         nemesis.schedule([fault])
         cluster.sim.run_for(1.0)
-        victims = set(fault._victims)
-        victim = fault._victims[0]
+        victims = set(fault._victims[0])
+        victim = fault._victims[0][0]
         clean = next(s.id for s in cluster.alive_servers() if s.id not in victims)
         net = cluster.sim.network
         assert net._loss_for(victim, clean) > 0.0

@@ -1,0 +1,53 @@
+"""Regression-spec harness: every reproducer the hunter ever exported
+into ``specs/regressions/`` replays here, forever, as a tier-1 test.
+
+Each spec is a minimal violating schedule found by ``repro hunt`` and
+shrunk by delta-debugging; its ``[expect]`` table records the damage the
+store under test exhibited, as exact bounds (replay is deterministic).
+A failure here means a protocol change moved known consistency damage —
+made it worse, or fixed it (in which case tighten the spec's bounds to
+the new truth and say so in the commit).
+"""
+
+import os
+
+import pytest
+
+from repro.search import check_bounds, list_regressions, load_regression, score_scenario
+
+REGRESSION_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "specs", "regressions")
+)
+SPEC_PATHS = list_regressions(REGRESSION_DIR)
+
+
+def test_regression_corpus_is_not_empty():
+    """The hunter has found real reproducers; the harness must be
+    exercising them (guards against the directory being moved/emptied
+    without anyone noticing the gate went dark)."""
+    assert SPEC_PATHS, f"no regression specs found in {REGRESSION_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path", SPEC_PATHS, ids=[os.path.splitext(os.path.basename(p))[0] for p in SPEC_PATHS]
+)
+def test_regression_spec_is_well_formed(path):
+    reg = load_regression(path)
+    assert reg.name == os.path.splitext(os.path.basename(path))[0]
+    assert reg.scenario.faults, "a reproducer without faults reproduces nothing"
+    assert "consistency" in reg.scenario.metrics
+    assert reg.expect, "a spec without bounds asserts nothing"
+    assert "search_seed" in reg.provenance
+
+
+@pytest.mark.parametrize(
+    "path", SPEC_PATHS, ids=[os.path.splitext(os.path.basename(p))[0] for p in SPEC_PATHS]
+)
+def test_regression_damage_within_recorded_bounds(path):
+    reg = load_regression(path)
+    score = score_scenario(reg.scenario)
+    failures = check_bounds(reg, score)
+    assert not failures, (
+        f"{reg.name}: replayed damage drifted from the recorded bounds "
+        f"(protocol behaviour changed):\n  " + "\n  ".join(failures)
+    )
