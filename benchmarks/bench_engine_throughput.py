@@ -34,8 +34,21 @@ Artifact format (``BENCH_engine.json``)::
         {"backend": "core", "nodes": 1000, "events": 16936044.0,
          "sim_time": 53.2, "wall_s": 123.4, "events_per_s": 137245.0},
         ...
-      ]
+      ],
+      "obs_overhead": {                        # flight-recorder cost
+        "backend": "core", "nodes": 1000, "repeats": 3,
+        "base_wall_s": 10.0, "obs_wall_s": 10.2, "overhead_pct": 2.0,
+        "events_match": true                   # corrected events == base
+      }
     }
+
+The ``obs_overhead`` block measures the flight recorder's timeline probe
+(1s windows — the densest probing a spec would realistically ask for) at
+the largest measured size: best-of-N walls with and without the recorder
+attached, plus the determinism cross-check that the recorder-corrected
+``events_processed`` equals the base run's. ``--smoke`` fails if the
+overhead exceeds ``OBS_OVERHEAD_LIMIT_PCT`` (escape hatch:
+``--no-overhead-check`` for known-noisy hosts).
 """
 
 from __future__ import annotations
@@ -54,6 +67,7 @@ from repro.scenarios.spec import ScenarioSpec, WorkloadSpec
 DEFAULT_SIZES = [1000, 5000, 20000]
 SMOKE_SIZES = [100, 200]
 SEED = 3
+OBS_OVERHEAD_LIMIT_PCT = 5.0
 DEFAULT_OUT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_engine.json")
 
 
@@ -92,6 +106,45 @@ def run_cell(stack: str, nodes: int, seed: int) -> Dict[str, float]:
     }
 
 
+def measure_obs_overhead(
+    stack: str, nodes: int, seed: int, repeats: int = 5
+) -> Dict[str, object]:
+    """Best-of-``repeats`` wall with and without the flight recorder's
+    timeline probe (1s windows). The base/obs runs are *interleaved*
+    (A B A B ...) so slow process drift — allocator state, frequency
+    scaling — hits both sides equally; at smoke sizes that drift alone
+    is several percent, far above the probe's real cost."""
+    from repro.obs import FlightRecorder
+
+    spec = throughput_spec(stack, nodes)
+    best = {False: float("inf"), True: float("inf")}
+    events = {False: 0.0, True: 0.0}
+    for _ in range(repeats):
+        for with_recorder in (False, True):
+            recorder = (
+                FlightRecorder(timeline=True, window=1.0) if with_recorder else None
+            )
+            start = time.perf_counter()
+            result = run_scenario(spec, seed=seed, recorder=recorder)
+            wall = time.perf_counter() - start
+            best[with_recorder] = min(best[with_recorder], wall)
+            events[with_recorder] = result.metrics["events_processed"]
+    base_wall, base_events = best[False], events[False]
+    obs_wall, obs_events = best[True], events[True]
+    overhead_pct = (obs_wall - base_wall) / base_wall * 100.0 if base_wall > 0 else 0.0
+    return {
+        "backend": stack,
+        "nodes": nodes,
+        "repeats": repeats,
+        "base_wall_s": round(base_wall, 3),
+        "obs_wall_s": round(obs_wall, 3),
+        "overhead_pct": round(overhead_pct, 2),
+        # The recorder subtracts its own probe events, so the reported
+        # count must equal the unobserved run's exactly.
+        "events_match": obs_events == base_events,
+    }
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -107,6 +160,11 @@ def main(argv: List[str] | None = None) -> int:
         help=f"CI-sized run: sizes {SMOKE_SIZES} (unless --sizes is given)",
     )
     parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument(
+        "--no-overhead-check", action="store_true",
+        help="measure obs overhead but do not fail --smoke on the "
+        f"{OBS_OVERHEAD_LIMIT_PCT:g}%% limit (for known-noisy hosts)",
+    )
     parser.add_argument(
         "--out", default=DEFAULT_OUT,
         help="artifact path (default: BENCH_engine.json at the repo root)",
@@ -141,17 +199,40 @@ def main(argv: List[str] | None = None) -> int:
         mode = "smoke"
     else:
         mode = "partial"
+    obs_stack = "core" if "core" in backends else backends[0]
+    obs_nodes = max(sizes)
+    print(f"measuring obs overhead: {obs_stack} at {obs_nodes} nodes ...", flush=True)
+    overhead = measure_obs_overhead(obs_stack, obs_nodes, args.seed)
+    print(
+        f"  base {overhead['base_wall_s']}s vs obs {overhead['obs_wall_s']}s "
+        f"-> {overhead['overhead_pct']:+.2f}% "
+        f"(events match: {overhead['events_match']})",
+        flush=True,
+    )
+
     artifact = {
         "bench": "engine_throughput",
         "mode": mode,
         "seed": args.seed,
         "sizes": sizes,
         "results": results,
+        "obs_overhead": overhead,
     }
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(artifact, f, indent=2, sort_keys=True)
         f.write("\n")
     print(f"wrote {args.out}")
+
+    if not overhead["events_match"]:
+        print("FAIL: recorder-corrected events_processed diverged from base run")
+        return 1
+    if args.smoke and not args.no_overhead_check:
+        if overhead["overhead_pct"] > OBS_OVERHEAD_LIMIT_PCT:
+            print(
+                f"FAIL: flight-recorder overhead {overhead['overhead_pct']:.2f}% "
+                f"exceeds the {OBS_OVERHEAD_LIMIT_PCT:g}% limit"
+            )
+            return 1
     return 0
 
 

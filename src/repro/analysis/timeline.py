@@ -1,0 +1,111 @@
+"""Timeline analysis: turn flight-recorder windows into rates and tables.
+
+The :class:`~repro.obs.timeline.TimelineRecorder` emits per-window
+*deltas* of every registry counter; these helpers turn that series into
+what a human (or ``repro report``) wants to look at — per-window rates
+for chosen counters, a compact damage series (stale reads, drops, open
+unavailability windows per window), and ASCII renderings built on
+:mod:`repro.analysis.tables`.
+
+All functions take the timeline's dict form
+(:meth:`~repro.obs.timeline.TimelineRecorder.to_dict` or a loaded
+``timeline.json``), so they work on live recorders and archived
+artifacts alike.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.tables import rows_to_table
+
+__all__ = [
+    "damage_series",
+    "format_timeline",
+    "load_timeline",
+    "timeline_rates",
+    "top_counters",
+]
+
+# Per-cause drop aggregates share this prefix; the per-type breakdowns
+# below them carry a second dot and would double-count.
+_DROP_PREFIX = "msg.dropped."
+
+
+def load_timeline(path: str) -> Dict[str, Any]:
+    """Load a ``timeline.json`` artifact."""
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def top_counters(timeline: Dict[str, Any], limit: int = 6) -> List[str]:
+    """The ``limit`` counters with the largest whole-run totals —
+    the default column set when the caller names none. Per-type message
+    breakdowns are skipped in favour of their aggregates."""
+    totals: Dict[str, float] = {}
+    for row in timeline["windows"]:
+        for name, value in row["counters"].items():
+            totals[name] = totals.get(name, 0.0) + value
+    keep = {
+        name: total
+        for name, total in totals.items()
+        if name in ("msg.sent", "msg.received")
+        or (not name.startswith("msg.sent.") and not name.startswith("msg.received."))
+    }
+    ranked = sorted(keep.items(), key=lambda item: (-item[1], item[0]))
+    return [name for name, _ in ranked[:limit]]
+
+
+def timeline_rates(
+    timeline: Dict[str, Any], counters: Optional[Sequence[str]] = None
+) -> List[Dict[str, float]]:
+    """One row per window with per-second rates for ``counters``
+    (defaults to :func:`top_counters`), plus any staleness /
+    availability columns the recorder captured."""
+    if counters is None:
+        counters = top_counters(timeline)
+    rows = []
+    for window in timeline["windows"]:
+        span = window["end"] - window["start"]
+        row: Dict[str, float] = {"t": window["start"], "span": span}
+        for name in counters:
+            delta = window["counters"].get(name, 0.0)
+            row[name] = delta / span if span > 0 else 0.0
+        for extra in ("stale_reads", "unavail_closed", "unavail_open"):
+            if extra in window:
+                row[extra] = float(window[extra])
+        rows.append(row)
+    return rows
+
+
+def damage_series(timeline: Dict[str, Any]) -> List[Dict[str, float]]:
+    """Compact per-window damage: stale reads, drops of any cause, and
+    unavailability windows still open at the window boundary."""
+    rows = []
+    for window in timeline["windows"]:
+        drops = sum(
+            value
+            for name, value in window["counters"].items()
+            if name.startswith(_DROP_PREFIX) and "." not in name[len(_DROP_PREFIX):]
+        )
+        rows.append(
+            {
+                "t": window["start"],
+                "stale": float(window.get("stale_reads", 0)),
+                "drops": drops,
+                "unavail_open": float(window.get("unavail_open", 0)),
+            }
+        )
+    return rows
+
+
+def format_timeline(
+    timeline: Dict[str, Any], counters: Optional[Sequence[str]] = None
+) -> str:
+    """ASCII table of per-window rates (counters are per-second)."""
+    rows = timeline_rates(timeline, counters)
+    if not rows:
+        return "(empty timeline)"
+    columns = list(rows[0].keys())
+    return rows_to_table(rows, columns)

@@ -9,6 +9,8 @@ Usage (after ``pip install -e .``)::
     python -m repro backends list        # registered storage backends
     python -m repro scenarios list       # bundled scenario catalogue
     python -m repro scenarios run catastrophic-failure --seed 7
+    python -m repro scenarios run flight-recorder --timeline --trace --profile
+    python -m repro report obs/flight-recorder-s11   # inspect run artifacts
     python -m repro scenarios sweep baseline --seeds 0 1 2 --jobs 4
     python -m repro scenarios validate my-spec.toml  # check without running
     python -m repro hunt run --seed 7 --budget 8 --shrink --export specs/regressions
@@ -23,7 +25,10 @@ benches.
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional, Sequence
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.aggregate import aggregate_table_rows
 from repro.analysis.experiments import (
@@ -97,6 +102,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the canonical JSON summary instead of a table "
         "(byte-identical across runs of the same spec and seed)",
     )
+    run.add_argument(
+        "--brief",
+        action="store_true",
+        help="print a human top-line (ops, damage, availability) instead "
+        "of the full metric table",
+    )
+    obs_group = run.add_argument_group(
+        "observability",
+        "flight-recorder pillars; each flag forces its pillar on, the "
+        "spec's [observability] section supplies the rest. Artifacts "
+        "land in --obs-dir; run `repro report DIR` to inspect them.",
+    )
+    obs_group.add_argument(
+        "--timeline",
+        action="store_true",
+        help="record a per-window counter/damage timeline (timeline.json)",
+    )
+    obs_group.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace sampled ops causally through the network "
+        "(trace.json, Chrome/Perfetto trace-event format)",
+    )
+    obs_group.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile wall-clock hotspots on the event loop (hotspots.json)",
+    )
+    obs_group.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="ignore the spec's [observability] section (explicit "
+        "--timeline/--trace/--profile flags still apply)",
+    )
+    obs_group.add_argument(
+        "--obs-dir",
+        metavar="DIR",
+        help="artifact directory (default obs/<scenario>-s<seed>)",
+    )
 
     sweep = action.add_parser("sweep", help="run a scenario over several seeds")
     _add_scenario_selection(sweep)
@@ -125,6 +169,27 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument(
         "spec",
         help="path to a spec file, or a bundled scenario name",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="render a flight-recorder artifact directory",
+        description="Render the artifacts one `scenarios run "
+        "--timeline/--trace/--profile` wrote: manifest provenance, the "
+        "per-window timeline as rates, the hotspot table, and the trace "
+        "summary. Point Perfetto (ui.perfetto.dev) at trace.json for the "
+        "interactive view.",
+    )
+    report.add_argument(
+        "directory",
+        help="artifact directory containing manifest.json (or the "
+        "manifest path itself)",
+    )
+    report.add_argument(
+        "--top",
+        type=int,
+        default=12,
+        help="rows to show in the hotspot table (default 12)",
     )
 
     hunt = sub.add_parser(
@@ -164,6 +229,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--summary",
         action="store_true",
         help="print the canonical JSON hunt log instead of tables",
+    )
+    hunt_run.add_argument(
+        "--timeline-window",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="attach a per-candidate damage timeline with this window "
+        "(0 = off, the default — hunt logs then match pre-obs hunts)",
     )
 
     hunt_shrink = hunt_action.add_parser(
@@ -374,9 +447,13 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
 
     spec = _resolve_spec(args)
     if args.action == "run":
-        result = run_scenario(spec, seed=args.seed)
+        recorder = _build_recorder(spec, args)
+        result = run_scenario(spec, seed=args.seed, recorder=recorder)
         if args.summary:
             print(result.summary_json())
+        elif args.brief:
+            for line in _brief_lines(spec, result):
+                print(line)
         else:
             print(f"scenario: {result.scenario} (seed {result.seed})")
             print(
@@ -384,6 +461,15 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
                     ["metric", "value"], sorted(result.metrics.items())
                 )
             )
+        if recorder is not None:
+            obs_dir = args.obs_dir or os.path.join(
+                "obs", f"{result.scenario}-s{result.seed}"
+            )
+            manifest_path = recorder.write_artifacts(obs_dir, spec, result)
+            # Artifact chatter goes to stderr: --summary stdout is
+            # byte-compared in CI and must stay pure.
+            print(f"obs artifacts: {obs_dir} ({manifest_path})", file=sys.stderr)
+            print(f"inspect with: repro report {obs_dir}", file=sys.stderr)
         return 0
 
     # sweep
@@ -456,6 +542,167 @@ def _validate_spec(target: str) -> int:
     return 0
 
 
+def _build_recorder(spec: ScenarioSpec, args: argparse.Namespace):
+    """The run's :class:`~repro.obs.recorder.FlightRecorder`, or ``None``.
+
+    Each pillar is on when its CLI flag forces it, or when the spec's
+    ``[observability]`` section enables it and ``--no-obs`` was not
+    given. Spec-level tuning (window, sample rate) always comes from the
+    spec.
+    """
+    obs = spec.observability
+    spec_on = obs.enabled and not args.no_obs
+    want_timeline = args.timeline or (spec_on and obs.timeline)
+    want_trace = args.trace or (spec_on and obs.trace)
+    want_profile = args.profile or (spec_on and obs.profile)
+    if not (want_timeline or want_trace or want_profile):
+        return None
+    from repro.obs import FlightRecorder
+
+    return FlightRecorder.from_spec(
+        obs, timeline=want_timeline, trace=want_trace, profile=want_profile
+    )
+
+
+def _brief_lines(spec: ScenarioSpec, result) -> List[str]:
+    """The human top-line for one run: what happened, what it damaged."""
+    m = result.metrics
+
+    def count(key: str) -> int:
+        return int(m.get(key, 0.0))
+
+    lines = [
+        f"{result.scenario}: {spec.stack} stack, {count('population_total') or spec.nodes} "
+        f"nodes, seed {result.seed}"
+    ]
+    if "txn_ops" in m:
+        ops = (
+            f"  ops: {count('load_ops')} loaded, {count('txn_ops')} transactions "
+            f"({m.get('txn_success_rate', 0.0):.1%} ok"
+        )
+        if "txn_offered" in m:
+            ops += (
+                f"; open loop: {count('txn_offered')} offered, "
+                f"{count('txn_timed_out')} timed out"
+            )
+        lines.append(ops + ")")
+        kinds = sorted(
+            key[len("latency_"):-len("_p99")]
+            for key in m
+            if key.startswith("latency_") and key.endswith("_p99")
+        )
+        for kind in kinds:
+            lines.append(
+                f"  latency ({kind}): p50 {m.get(f'latency_{kind}_p50', 0.0):g}s "
+                f"p99 {m.get(f'latency_{kind}_p99', 0.0):g}s"
+            )
+    if "stale_reads" in m:
+        lines.append(
+            f"  damage: {count('stale_reads')} stale reads, "
+            f"{count('lost_updates')} lost updates, "
+            f"{count('lost_objects')} lost objects"
+        )
+        lines.append(
+            f"  availability: {count('unavail_windows')} windows over "
+            f"{count('unavail_keys')} keys "
+            f"(mean {m.get('unavail_window_mean', 0.0):g}s, "
+            f"max {m.get('unavail_window_max', 0.0):g}s)"
+        )
+    if "faults_injected" in m:
+        lines.append(
+            f"  faults: {count('faults_injected')} injected, "
+            f"{count('faults_healed')} healed"
+        )
+    lines.append(
+        f"  sim: {m.get('sim_time', 0.0):g}s, "
+        f"{count('events_processed')} events"
+    )
+    return lines
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.timeline import format_timeline
+    from repro.obs import load_manifest
+
+    try:
+        manifest = load_manifest(args.directory)
+    except OSError as exc:
+        print(f"error: cannot read manifest: {exc}")
+        return 2
+    directory = (
+        os.path.dirname(args.directory)
+        if os.path.isfile(args.directory)
+        else args.directory
+    )
+    env = manifest.get("environment", {})
+    wall = manifest.get("wall", {})
+    print(
+        f"run: {manifest.get('scenario')} ({manifest.get('stack')}, "
+        f"{manifest.get('nodes')} nodes, seed {manifest.get('seed')})"
+    )
+    print(
+        f"  repro {env.get('package_version', '?')} on python "
+        f"{env.get('python', '?')}; wall {wall.get('total_s', 0.0):g}s"
+    )
+    print(f"  spec sha256: {manifest.get('spec_sha256', '?')[:16]}…")
+    phases = wall.get("phases", {})
+    if phases:
+        print(
+            "  phases: "
+            + ", ".join(f"{name} {secs:g}s" for name, secs in phases.items())
+        )
+    obs = manifest.get("observability", {})
+    artifacts = {a["name"]: a for a in manifest.get("artifacts", [])}
+
+    timeline_path = os.path.join(directory, "timeline.json")
+    if "timeline.json" in artifacts and os.path.exists(timeline_path):
+        with open(timeline_path, "r", encoding="utf-8") as f:
+            timeline = json.load(f)
+        print(f"\ntimeline ({len(timeline['windows'])} windows, rates are per second):")
+        print(format_timeline(timeline))
+
+    if "trace.json" in artifacts:
+        print(
+            f"\ntrace: {obs.get('sampled_ops', 0)}/{obs.get('total_ops', 0)} ops "
+            f"sampled, {obs.get('hops', 0)} hops, {obs.get('drops', 0)} drops"
+        )
+        print(
+            f"  load {os.path.join(directory, 'trace.json')} in Perfetto "
+            "(ui.perfetto.dev) or chrome://tracing"
+        )
+
+    hotspots_path = os.path.join(directory, "hotspots.json")
+    if "hotspots.json" in artifacts and os.path.exists(hotspots_path):
+        with open(hotspots_path, "r", encoding="utf-8") as f:
+            prof = json.load(f)
+        print(
+            f"\nhotspots ({prof['total_events']} events, "
+            f"{prof['total_wall_s']:g}s in handlers):"
+        )
+        print(_hotspot_table(prof["hotspots"], top=args.top))
+    return 0
+
+
+def _hotspot_table(rows: List[Dict[str, object]], top: int) -> str:
+    """Fixed-width rendering of a ``hotspots.json`` row list (same shape
+    :meth:`HotspotProfiler.table` prints for a live profiler)."""
+    rows = rows[:top]
+    if not rows:
+        return "(no events profiled)"
+    width = max(len("handler"), max(len(str(r["handler"])) for r in rows))
+    lines = [
+        f"{'handler':<{width}}  {'events':>9}  {'wall_s':>9}  "
+        f"{'share':>6}  {'us/event':>9}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{str(r['handler']):<{width}}  {int(r['events']):>9}  "
+            f"{float(r['wall_s']):>9.3f}  {float(r['share']):>6.1%}  "
+            f"{float(r['us_per_event']):>9.2f}"
+        )
+    return "\n".join(lines)
+
+
 def _hunt_config(args: argparse.Namespace) -> "HuntConfig":
     from repro.search import HuntConfig
 
@@ -466,6 +713,7 @@ def _hunt_config(args: argparse.Namespace) -> "HuntConfig":
         nodes=args.nodes,
         records=args.records,
         operations=args.ops,
+        timeline_window=getattr(args, "timeline_window", 0.0),
     )
 
 
@@ -597,6 +845,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "backends": _cmd_backends,
     "scenarios": _cmd_scenarios,
+    "report": _cmd_report,
     "hunt": _cmd_hunt,
 }
 

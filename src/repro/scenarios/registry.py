@@ -29,6 +29,8 @@ Bundled set (see each file's ``description`` for the full story):
                           without consistency cost, the vs-ideal yardstick
 ``open-loop``             4 concurrent clients offering Poisson load at a
                           fixed rate — the concurrent-engine smoke
+``flight-recorder``       burst loss then a partition with the timeline
+                          and op traces enabled in-spec — the obs demo
 ========================  ====================================================
 """
 

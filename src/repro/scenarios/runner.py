@@ -113,8 +113,19 @@ class SweepResult:
         )
 
 
-def run_scenario(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResult:
+def run_scenario(
+    spec: ScenarioSpec, seed: Optional[int] = None, recorder=None
+) -> ScenarioResult:
     """Execute ``spec`` once; ``seed`` overrides the spec's default.
+
+    ``recorder`` is an optional
+    :class:`~repro.obs.recorder.FlightRecorder` the caller owns (the
+    CLI builds one from ``spec.observability`` plus its flags, then
+    writes the artifact directory after the run). The recorder's probes
+    are RNG-free and event-order-neutral, and its timeline probe events
+    are subtracted from ``events_processed``, so a recorded run returns
+    byte-identical metrics to an unrecorded one — the obs determinism
+    contract CI byte-compares.
 
     Runs under :func:`~repro.sim.simulator.relaxed_gc`: simulation
     garbage is acyclic, and default cyclic-GC thresholds cost up to ~3x
@@ -123,15 +134,21 @@ def run_scenario(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResu
     """
     seed = spec.seed if seed is None else seed
     with relaxed_gc():
-        return _run_scenario_inner(spec, seed)
+        return _run_scenario_inner(spec, seed, recorder)
 
 
-def _run_scenario_inner(spec: ScenarioSpec, seed: int) -> ScenarioResult:
+def _run_scenario_inner(spec: ScenarioSpec, seed: int, recorder=None) -> ScenarioResult:
+    if recorder is not None:
+        recorder.begin_phase("deploy")
     sim = Simulation(seed=seed, latency_model=spec.latency.build(), loss_rate=spec.loss_rate)
+    if recorder is not None:
+        recorder.attach(sim)
     backend = get_backend(spec.stack).deploy(spec, sim)
     metrics: Dict[str, float] = {}
 
     cluster_size_before = len(backend.servers)
+    if recorder is not None:
+        recorder.begin_phase("converge")
     metrics["converged"] = float(backend.converge(spec))
 
     workload = spec.workload.build()
@@ -142,12 +159,20 @@ def _run_scenario_inner(spec: ScenarioSpec, seed: int) -> ScenarioResult:
         op_timeout=spec.workload.op_timeout,
         acks_required=spec.workload.acks_required,
     )
+    if recorder is not None:
+        recorder.attach_observer(runner.observer)
+        runner.tracer = recorder.tracer
+        recorder.begin_phase("load")
     load_stats = runner.run_load_phase()
+    if recorder is not None:
+        recorder.begin_phase("settle")
     sim.run_for(spec.settle)
 
     controller, nemesis, probe = _inject_faults_and_churn(spec, backend)
 
     txn_stats: Optional[RunStats] = None
+    if recorder is not None:
+        recorder.begin_phase("transactions")
     if spec.workload.operation_count > 0:
         if spec.workload.mode == "open":
             # The concurrent engine shares the load phase's consistency
@@ -169,6 +194,8 @@ def _run_scenario_inner(spec: ScenarioSpec, seed: int) -> ScenarioResult:
                 acks_required=spec.workload.acks_required,
                 observer=runner.observer,
             )
+            if recorder is not None:
+                engine.tracer = recorder.tracer
             txn_stats = engine.run_transactions(spec.workload.operation_count)
         else:
             txn_stats = runner.run_transactions(spec.workload.operation_count)
@@ -176,6 +203,8 @@ def _run_scenario_inner(spec: ScenarioSpec, seed: int) -> ScenarioResult:
         # No transaction phase: still play the churn schedule out so its
         # effects are visible in the population/replication metrics.
         sim.run_for(spec.churn.horizon)
+    if recorder is not None:
+        recorder.begin_phase("heal")
     if nemesis is not None and sim.now < nemesis.end_time:
         # The transaction phase ended before the fault schedule did:
         # keep running so every scheduled heal fires.
@@ -183,10 +212,18 @@ def _run_scenario_inner(spec: ScenarioSpec, seed: int) -> ScenarioResult:
     _measure_heal(spec, backend, probe, metrics)
     sim.run_for(spec.cooldown)
 
+    if recorder is not None:
+        recorder.begin_phase("collect")
     _collect(spec, backend, controller, nemesis, runner, load_stats, txn_stats, workload, metrics)
     metrics["population_before_churn"] = float(cluster_size_before)
     metrics["sim_time"] = _r(sim.now)
-    metrics["events_processed"] = float(sim.scheduler.events_processed)
+    events = sim.scheduler.events_processed
+    if recorder is not None:
+        recorder.finish(sim)
+        # Timeline probes are the one place observability adds scheduler
+        # events; subtract them so obs-on metrics equal obs-off byte-for-byte.
+        events -= recorder.overhead_events
+    metrics["events_processed"] = float(events)
     return ScenarioResult(spec.name, seed, dict(sorted(metrics.items())))
 
 

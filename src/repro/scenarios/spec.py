@@ -55,6 +55,7 @@ __all__ = [
     "ChurnSpec",
     "FaultSpec",
     "WorkloadSpec",
+    "ObservabilitySpec",
     "ScenarioSpec",
     "WORKLOAD_PRESETS",
     "load_spec",
@@ -267,6 +268,50 @@ class WorkloadSpec:
 
 
 @dataclass
+class ObservabilitySpec:
+    """Flight-recorder configuration (the ``[observability]`` block).
+
+    Everything defaults to off; a spec without the block behaves exactly
+    as before the recorder existed. The CLI can override each pillar per
+    run (``--timeline`` / ``--trace`` / ``--profile`` / ``--no-obs``).
+
+    * ``timeline`` — per-``window``-second counter/damage deltas
+      (:class:`~repro.obs.timeline.TimelineRecorder`).
+    * ``trace`` — head-sample every ``trace_sample``-th client op (up to
+      ``trace_max_ops`` sampled ops) into a Perfetto-loadable Chrome
+      trace (:class:`~repro.obs.trace.OpTracer`).
+    * ``profile`` — wall-clock hotspot attribution per handler type
+      (:class:`~repro.obs.profile.HotspotProfiler`).
+    """
+
+    timeline: bool = False
+    window: float = 5.0
+    trace: bool = False
+    trace_sample: int = 10
+    trace_max_ops: int = 1000
+    profile: bool = False
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ConfigurationError("observability window must be positive")
+        if self.trace_sample < 1:
+            raise ConfigurationError("trace_sample must be >= 1")
+        if self.trace_max_ops < 1:
+            raise ConfigurationError("trace_max_ops must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        return self.timeline or self.trace or self.profile
+
+    def build(self):
+        """A fresh :class:`~repro.obs.recorder.FlightRecorder` configured
+        from this spec (lazy import: the spec layer only describes)."""
+        from repro.obs import FlightRecorder
+
+        return FlightRecorder.from_spec(self)
+
+
+@dataclass
 class ScenarioSpec:
     """One complete experiment description.
 
@@ -317,6 +362,7 @@ class ScenarioSpec:
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     config: Dict[str, Any] = field(default_factory=dict)
     metrics: Tuple[str, ...] = ("workload", "messages", "population", "slices")
+    observability: ObservabilitySpec = field(default_factory=ObservabilitySpec)
 
     def __post_init__(self) -> None:
         # Resolve the stack against the backend registry so an unknown
@@ -357,6 +403,7 @@ class ScenarioSpec:
         copies: Dict[str, Any] = {
             "latency": replace(self.latency),
             "workload": replace(self.workload, **workload_fields),
+            "observability": replace(self.observability),
             "config": dict(self.config),
             "faults": [
                 replace(f, nodes=list(f.nodes), groups=[list(g) for g in f.groups])
@@ -380,6 +427,11 @@ class ScenarioSpec:
             del data["churn"]
         if not self.faults:
             del data["faults"]
+        if self.observability == ObservabilitySpec():
+            # Mirror the churn/faults rule: an all-default block is
+            # omitted so pre-observability spec files round-trip
+            # unchanged (and regression-corpus TOMLs stay byte-stable).
+            del data["observability"]
         return data
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -403,7 +455,14 @@ def spec_from_dict(data: Dict[str, Any]) -> ScenarioSpec:
     churn = data.pop("churn", None)
     faults = data.pop("faults", None)
     workload = data.pop("workload", None)
+    observability = data.pop("observability", None)
     spec = ScenarioSpec(**_filter_kwargs(ScenarioSpec, data, "scenario"))
+    if observability is not None:
+        spec.observability = ObservabilitySpec(
+            **_filter_kwargs(
+                ObservabilitySpec, dict(observability), "observability"
+            )
+        )
     if latency is not None:
         spec.latency = LatencySpec(**_filter_kwargs(LatencySpec, dict(latency), "latency"))
     if churn is not None:

@@ -54,6 +54,12 @@ class HuntConfig:
     read-write YCSB-A mix) — the hunter's job is breadth, and a schedule
     that breaks consistency at 20 nodes is a reproducer worth keeping;
     scale-sensitivity studies belong to ``repro scenarios sweep``.
+
+    ``timeline_window`` > 0 attaches a per-candidate damage timeline
+    (that many simulated seconds per window) to every target run; the
+    hunt log then shows *when* each candidate's damage landed relative
+    to its schedule. Off (0.0) by default, which keeps existing hunt
+    logs byte-identical.
     """
 
     search_seed: int = 0
@@ -66,6 +72,7 @@ class HuntConfig:
     space: SampleSpace = field(default_factory=SampleSpace)
     weights: Weights = field(default_factory=Weights)
     oracle_stack: str = "oracle"
+    timeline_window: float = 0.0
 
     def __post_init__(self) -> None:
         if self.budget < 1:
@@ -90,11 +97,16 @@ class Candidate:
         return self.score.violation
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "index": self.index,
             "faults": [asdict(f) for f in self.faults],
             "score": self.score.components(),
         }
+        if self.score.timeline is not None:
+            # Only present when the hunt asked for damage timelines, so
+            # default hunt logs stay byte-identical to pre-obs hunts.
+            data["timeline"] = self.score.timeline
+        return data
 
 
 @dataclass
@@ -171,7 +183,10 @@ def run_hunt(
     for index in range(config.budget):
         faults = sample_schedule(config.search_seed, index, config.space)
         spec = attach_faults(base_scenario(config, index), faults)
-        score = score_scenario(spec, config.weights, config.oracle_stack)
+        score = score_scenario(
+            spec, config.weights, config.oracle_stack,
+            timeline_window=config.timeline_window,
+        )
         candidate = Candidate(index=index, faults=faults, score=score)
         candidates.append(candidate)
         if progress is not None:

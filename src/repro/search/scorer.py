@@ -52,7 +52,15 @@ class Weights:
 
 @dataclass
 class DamageScore:
-    """One schedule's damage, relative to the oracle baseline."""
+    """One schedule's damage, relative to the oracle baseline.
+
+    ``timeline`` (present only when the caller asked for one via
+    ``score_scenario(..., timeline_window=...)``) is the *target* run's
+    per-window damage series — when the staleness/drop damage happened,
+    not just how much. It is deliberately excluded from
+    :meth:`components` so regression bounds and default hunt logs are
+    unchanged by its existence.
+    """
 
     stale_reads: float
     lost_updates: float
@@ -61,6 +69,7 @@ class DamageScore:
     total: float
     target_metrics: Dict[str, float]
     oracle_metrics: Dict[str, float]
+    timeline: Optional[List[Dict[str, float]]] = None
 
     @property
     def violation(self) -> bool:
@@ -97,15 +106,24 @@ def score_scenario(
     spec: ScenarioSpec,
     weights: Optional[Weights] = None,
     oracle_stack: str = "oracle",
+    timeline_window: float = 0.0,
 ) -> DamageScore:
     """Run ``spec`` against its own stack and against ``oracle_stack`` on
     the identical schedule/load/seed; return the relative damage.
 
     ``spec.metrics`` must include the ``consistency`` group (the hunter's
-    base scenarios always do).
+    base scenarios always do). A positive ``timeline_window`` attaches a
+    flight-recorder timeline to the *target* run and returns its
+    per-window damage rows on the score; the recorder's probes are
+    trajectory-neutral, so the score itself is unchanged.
     """
     weights = weights or Weights()
-    target = run_scenario(spec).metrics
+    recorder = None
+    if timeline_window > 0:
+        from repro.obs import FlightRecorder
+
+        recorder = FlightRecorder(timeline=True, window=timeline_window)
+    target = run_scenario(spec, recorder=recorder).metrics
     oracle_spec = spec.scaled(stack=oracle_stack, name=f"{spec.name}@{oracle_stack}")
     oracle = run_scenario(oracle_spec).metrics
 
@@ -129,6 +147,7 @@ def score_scenario(
         total=total,
         target_metrics=target,
         oracle_metrics=oracle,
+        timeline=recorder.timeline.damage_rows() if recorder is not None else None,
     )
 
 

@@ -130,12 +130,34 @@ class AvailabilityTracker:
         """``(key, start, end)`` windows that have already healed."""
         return list(self._closed)
 
+    @property
+    def closed_count(self) -> int:
+        """Number of healed windows (cheap; no copy)."""
+        return len(self._closed)
+
+    @property
+    def open_count(self) -> int:
+        """Number of keys currently inside an unavailability window."""
+        return len(self._open)
+
+    @property
+    def open_windows(self) -> Dict[str, float]:
+        """key -> window start time for still-open windows (a copy)."""
+        return dict(self._open)
+
     def summary(self, now: float) -> Dict[str, float]:
         """Window count, distinct keys affected, and duration stats.
 
-        Open windows are counted as lasting until ``now``.
+        Open windows are counted as lasting until ``now``. A window that
+        opened exactly at ``now`` (the run-end boundary tie: the last
+        probe fails at the same instant the summary is taken) counts as
+        a zero-duration window, and an open window's contribution is
+        clamped at zero — a caller passing a ``now`` earlier than the
+        last recorded probe must never produce a negative duration.
         """
-        windows = self._closed + [(key, start, now) for key, start in self._open.items()]
+        windows = self._closed + [
+            (key, start, max(start, now)) for key, start in self._open.items()
+        ]
         durations = [end - start for _, start, end in windows]
         return {
             "windows": float(len(windows)),
@@ -258,3 +280,14 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, float]:
         """Totals of every counter — handy for quick debugging/tests."""
         return {name: self.total(name) for name in self.counter_names()}
+
+    def totals(self) -> Dict[str, float]:
+        """Like :meth:`snapshot` but unsorted and skipping empty slots —
+        the timeline probe calls this every window, so it avoids the
+        per-call sort (the consumer serialises with sorted keys anyway).
+        """
+        return {
+            name: sum(slots.values())
+            for name, slots in self._counters.items()
+            if slots
+        }

@@ -161,6 +161,12 @@ class Network:
         self._type_cache: Dict[type, Tuple[str, Dict, Dict, str, str]] = {}
         self._sent_slots = metrics.counter("msg.sent")
         self._recv_slots = metrics.counter("msg.received")
+        # Optional repro.obs.trace.OpTracer: when set and activated
+        # (tracer.active is a trace id), sends are attributed to the
+        # active operation and deliveries re-activate it around the
+        # receiving handler so cascaded sends inherit the id. When None
+        # (the default) the send path pays one local None-check.
+        self.tracer = None
 
     def _intern_type(self, msg_type: type) -> Tuple[str, Dict, Dict, str, str]:
         kind = msg_type.__name__
@@ -417,23 +423,54 @@ class Network:
         sent[src] = sent.get(src, 0.0) + 1.0
         sent_kind = entry[1]
         sent_kind[None] = sent_kind.get(None, 0.0) + 1.0
+        tracer = self.tracer
+        trace = tracer.active if tracer is not None else None
         if self._fault_free:
             loss = self.loss_rate
         else:
             if self._crosses_partition(src, dst):
                 self.metrics.inc("msg.dropped.partition")
                 self.metrics.inc(entry[3])
+                if trace is not None:
+                    tracer.drop(trace, src, dst, entry[0], "partition", self.scheduler.now)
                 return False
             loss = self._loss_for(src, dst)
         if loss > 0.0 and self.rng.random() < loss:
             self.metrics.inc("msg.dropped.loss")
             self.metrics.inc(entry[4])
+            if trace is not None:
+                tracer.drop(trace, src, dst, entry[0], "loss", self.scheduler.now)
             return False
         latency = self.latency_model.sample(self.rng, src, dst)
         if not self._fault_free:
             latency += self._extra_latency_for(src, dst)
-        self.scheduler.schedule(latency, self._deliver, src, dst, msg, entry[2])
+        if trace is None:
+            self.scheduler.schedule(latency, self._deliver, src, dst, msg, entry[2])
+        else:
+            self.scheduler.schedule(
+                latency, self._deliver_traced, src, dst, msg, entry[2],
+                trace, self.scheduler.now,
+            )
         return True
+
+    def _deliver_traced(
+        self, src: int, dst: int, msg: Any, received_kind: Dict,
+        trace: int, sent_at: float,
+    ) -> None:
+        """Delivery of a message attributed to an op trace: record the
+        hop, then run the normal delivery with the trace re-activated so
+        sends the handler causes (fan-out, acks) inherit the trace id."""
+        tracer = self.tracer
+        if tracer is None:
+            self._deliver(src, dst, msg, received_kind)
+            return
+        tracer.hop(trace, src, dst, type(msg).__name__, sent_at, self.scheduler.now)
+        previous = tracer.active
+        tracer.active = trace
+        try:
+            self._deliver(src, dst, msg, received_kind)
+        finally:
+            tracer.active = previous
 
     def _deliver(self, src: int, dst: int, msg: Any, received_kind: Dict) -> None:
         # ``received_kind`` is the per-type received-counter slots dict from

@@ -22,6 +22,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from math import isfinite
+from time import perf_counter
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -82,6 +83,11 @@ class Scheduler:
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        # Opt-in wall-clock hotspot hook (repro.obs.profile): when set,
+        # every fired callback is bracketed with perf_counter and
+        # reported via profiler.record(fn, args, elapsed). When None
+        # (the default) the run loop pays one local None-check per event.
+        self.profiler = None
 
     # ------------------------------------------------------------------ time
 
@@ -138,13 +144,19 @@ class Scheduler:
         Returns ``True`` if an event fired, ``False`` if the heap is empty.
         """
         heap = self._heap
+        profiler = self.profiler
         while heap:
             time, _seq, event = heapq.heappop(heap)
             if event.cancelled:
                 continue
             self._now = time
             self._events_processed += 1
-            event.fn(*event.args)
+            if profiler is None:
+                event.fn(*event.args)
+            else:
+                t0 = perf_counter()
+                event.fn(*event.args)
+                profiler.record(event.fn, event.args, perf_counter() - t0)
             return True
         return False
 
@@ -162,6 +174,7 @@ class Scheduler:
         """
         heap = self._heap
         pop = heapq.heappop
+        profiler = self.profiler
         fired = 0
         while heap:
             if max_events is not None and fired >= max_events:
@@ -175,7 +188,12 @@ class Scheduler:
             pop(heap)
             self._now = time
             self._events_processed += 1
-            event.fn(*event.args)
+            if profiler is None:
+                event.fn(*event.args)
+            else:
+                t0 = perf_counter()
+                event.fn(*event.args)
+                profiler.record(event.fn, event.args, perf_counter() - t0)
             fired += 1
         if until is not None and until > self._now:
             horizon = until

@@ -134,7 +134,7 @@ class _Flight:
 
     __slots__ = (
         "kind", "key", "measured", "window", "issued_at",
-        "done", "remaining_gets", "all_ok", "watchdog",
+        "done", "remaining_gets", "all_ok", "watchdog", "trace",
     )
 
     def __init__(self, kind: str, key: str, measured: bool, window, issued_at: float):
@@ -147,6 +147,7 @@ class _Flight:
         self.remaining_gets = 0
         self.all_ok = True
         self.watchdog = None
+        self.trace = None
 
 
 class OpenLoopRunner:
@@ -223,6 +224,10 @@ class OpenLoopRunner:
         self._next_client = 0
         self._outstanding = 0
         self.max_observed_in_flight = 0
+        # Optional repro.obs.trace.OpTracer, wired by the scenario
+        # runner. Activated only around synchronous client issue calls
+        # (including the RMW write half inside its completion callback).
+        self.tracer = None
         # Per-run state, reset by run_transactions.
         self._stats: OpenLoopStats = OpenLoopStats()
         self._ops = iter(())
@@ -341,17 +346,24 @@ class OpenLoopRunner:
             self.op_timeout, self._on_watchdog, flight
         )
         client = self._pick_client()
+        tracer = self.tracer
+        if tracer is not None:
+            # Head-sampling counts every issued top-level op; shed and
+            # degenerate arrivals never reach this point.
+            flight.trace = tracer.sample_op(
+                op.kind, op.key, getattr(client, "id", 0), sim.now
+            )
         if op.kind in (INSERT, UPDATE):
             self._issue_put(client, flight, op.key, op.value)
         elif op.kind == READ:
             expected = self.observer.expected_version(op.key)
-            pending = client.get(op.key)
+            pending = self._client_call(flight, client.get, op.key)
             pending.on_complete(
                 lambda p, f=flight, e=expected: self._on_read_done(f, e, p)
             )
         elif op.kind == RMW:
             expected = self.observer.expected_version(op.key)
-            pending = client.get(op.key)
+            pending = self._client_call(flight, client.get, op.key)
             pending.on_complete(
                 lambda p, f=flight, c=client, v=op.value, e=expected:
                     self._on_rmw_read_done(f, c, v, e, p)
@@ -361,14 +373,24 @@ class OpenLoopRunner:
             for index in range(base_index, end_index):
                 key = self.workload.key_for(index)
                 expected = self.observer.expected_version(key)
-                pending = client.get(key)
+                pending = self._client_call(flight, client.get, key)
                 pending.on_complete(
                     lambda p, f=flight, e=expected: self._on_scan_get_done(f, e, p)
                 )
 
+    def _client_call(self, flight: _Flight, fn, *args):
+        """Issue one client call with the flight's trace (if sampled)
+        active, so the sends it causes are attributed to the op."""
+        if flight.trace is None:
+            return fn(*args)
+        with self.tracer.activated(flight.trace):
+            return fn(*args)
+
     def _issue_put(self, client, flight: _Flight, key: str, value) -> None:
         version = self.observer.next_version(key)
-        pending = client.put(key, value, version, self.acks_required)
+        pending = self._client_call(
+            flight, client.put, key, value, version, self.acks_required
+        )
         pending.on_complete(
             lambda p, f=flight, k=key, v=version: self._on_put_done(f, k, v, p)
         )
@@ -436,6 +458,8 @@ class OpenLoopRunner:
         self._outstanding -= 1
         if flight.watchdog is not None:
             flight.watchdog.cancel()
+        if flight.trace is not None:
+            self.tracer.op_end(flight.trace, ok, self.cluster.sim.now)
         if not flight.measured:
             return
         # For RMW the latency spans read issue to write completion; for

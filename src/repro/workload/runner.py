@@ -82,6 +82,10 @@ class ConsistencyObserver:
         # system must still be able to serve.
         self._acked: Dict[str, int] = {}
         self.availability = AvailabilityTracker()
+        # Running stale-read total across every driver sharing this
+        # observer — the timeline recorder reads it per probe window
+        # (per-phase splits stay in each driver's RunStats).
+        self.stale_reads = 0
 
     @property
     def acked_versions(self) -> Dict[str, int]:
@@ -138,9 +142,12 @@ class ConsistencyObserver:
         self.availability.record(key, now, succeeded)
         if expected is _NO_SNAPSHOT:
             expected = self._acked.get(key)
-        return bool(
+        stale = bool(
             succeeded and expected is not None and (result_version or 0) < expected
         )
+        if stale:
+            self.stale_reads += 1
+        return stale
 
 
 @dataclass
@@ -242,6 +249,12 @@ class WorkloadRunner:
         self.op_timeout = op_timeout
         self.acks_required = acks_required
         self.observer = observer if observer is not None else ConsistencyObserver()
+        # Optional repro.obs.trace.OpTracer, wired by the scenario
+        # runner. The tracer is activated only around the synchronous
+        # client issue calls — never across _await, which executes
+        # unrelated simulation events.
+        self.tracer = None
+        self._trace = None
 
     # ------------------------------------------------ observer pass-throughs
 
@@ -278,45 +291,78 @@ class WorkloadRunner:
         return stats
 
     def _execute(self, op: Operation, stats: RunStats) -> None:
+        tracer = self.tracer
+        if tracer is None:
+            self._dispatch(op, stats)
+            return
+        # Head-sampling counts every top-level op; a sampled op's trace
+        # id is active only while its client calls are being issued.
+        trace = tracer.sample_op(
+            op.kind, op.key, getattr(self.client, "id", 0), self.cluster.sim.now
+        )
+        self._trace = trace
+        try:
+            ok = self._dispatch(op, stats)
+        finally:
+            self._trace = None
+        if trace is not None:
+            tracer.op_end(trace, bool(ok), self.cluster.sim.now)
+
+    def _dispatch(self, op: Operation, stats: RunStats) -> Optional[bool]:
+        """Issue one operation; returns its outcome (``None`` = never
+        issued, e.g. a degenerate scan)."""
         if op.kind in (INSERT, UPDATE):
             pending = self._put(op.key, op.value)
             stats.record(op.kind, pending.succeeded, pending.latency)
-        elif op.kind == READ:
+            return pending.succeeded
+        if op.kind == READ:
             pending = self._get(op.key, stats)
             stats.record(op.kind, pending.succeeded, pending.latency)
-        elif op.kind == RMW:
+            return pending.succeeded
+        if op.kind == RMW:
             started = self.cluster.sim.now
             read = self._get(op.key, stats)
             if not read.succeeded:
                 stats.record(op.kind, False, None)
-                return
+                return False
             write = self._put(op.key, op.value)
             latency = self.cluster.sim.now - started
             stats.record(op.kind, write.succeeded, latency if write.succeeded else None)
-        elif op.kind == SCAN:
+            return write.succeeded
+        if op.kind == SCAN:
             started = self.cluster.sim.now
             base_index, end_index = scan_range(self.workload, op)
             if end_index <= base_index:
                 # Nothing in range: zero gets were performed, so recording
                 # a ~0-latency success would skew p50 — it was never issued.
                 stats.record_not_issued(op.kind)
-                return
+                return None
             all_ok = True
             for index in range(base_index, end_index):
                 pending = self._get(self.workload.key_for(index), stats)
                 all_ok = all_ok and pending.succeeded
             latency = self.cluster.sim.now - started
             stats.record(op.kind, all_ok, latency if all_ok else None)
+            return all_ok
+        return None
 
     def _put(self, key: str, value):
         version = self.observer.next_version(key)
-        pending = self.client.put(key, value, version, self.acks_required)
+        if self._trace is not None:
+            with self.tracer.activated(self._trace):
+                pending = self.client.put(key, value, version, self.acks_required)
+        else:
+            pending = self.client.put(key, value, version, self.acks_required)
         self._await(pending)
         self.observer.write_completed(key, version, pending.succeeded)
         return pending
 
     def _get(self, key: str, stats: RunStats):
-        pending = self.client.get(key)
+        if self._trace is not None:
+            with self.tracer.activated(self._trace):
+                pending = self.client.get(key)
+        else:
+            pending = self.client.get(key)
         self._await(pending)
         if self.observer.read_completed(
             key, self.cluster.sim.now, pending.succeeded, pending.result_version

@@ -211,6 +211,64 @@ def test_scenarios_sweep(capsys):
     assert "stdev" in out
 
 
+SMALL_FR = ["--nodes", "15", "--records", "5", "--ops", "15"]
+
+
+def test_scenarios_run_brief(capsys):
+    argv = ["scenarios", "run", "baseline", "--seed", "3", "--brief"] + SMALL_RUN
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "baseline: core stack" in out
+    assert "ops:" in out and "sim:" in out
+
+
+def test_scenarios_run_obs_artifacts_and_stdout_purity(tmp_path, capsys):
+    # The CI obs-smoke check in CLI form: --summary stdout must be
+    # byte-identical with and without the recorder (artifact chatter
+    # goes to stderr), and the artifact files must exist.
+    obs_dir = str(tmp_path / "obs")
+    base = ["scenarios", "run", "flight-recorder", "--summary"] + SMALL_FR
+    assert main(base + ["--no-obs"]) == 0
+    off = capsys.readouterr()
+    assert main(base + ["--timeline", "--trace", "--profile", "--obs-dir", obs_dir]) == 0
+    on = capsys.readouterr()
+    assert on.out == off.out
+    assert "obs artifacts" in on.err and "obs artifacts" not in off.err
+    for name in ("manifest.json", "timeline.json", "trace.json", "hotspots.json"):
+        assert (tmp_path / "obs" / name).is_file()
+
+
+def test_spec_observability_block_enables_recorder(tmp_path, capsys):
+    # flight-recorder's own [observability] turns pillars on without flags.
+    obs_dir = str(tmp_path / "obs")
+    argv = ["scenarios", "run", "flight-recorder", "--summary",
+            "--obs-dir", obs_dir] + SMALL_FR
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert (tmp_path / "obs" / "timeline.json").is_file()
+    assert (tmp_path / "obs" / "trace.json").is_file()
+    assert not (tmp_path / "obs" / "hotspots.json").exists()  # profile off in spec
+
+
+def test_report_command(tmp_path, capsys):
+    obs_dir = str(tmp_path / "obs")
+    argv = ["scenarios", "run", "flight-recorder", "--summary", "--timeline",
+            "--trace", "--profile", "--obs-dir", obs_dir] + SMALL_FR
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert main(["report", obs_dir]) == 0
+    out = capsys.readouterr().out
+    assert "run: flight-recorder" in out
+    assert "timeline (" in out
+    assert "Perfetto" in out
+    assert "hotspots (" in out
+
+
+def test_report_missing_directory(capsys):
+    assert main(["report", "/no/such/dir"]) == 2
+    assert "error:" in capsys.readouterr().out
+
+
 def test_scenarios_sweep_jobs_summary_matches_serial(capsys):
     # The CI parallel-vs-serial determinism check in CLI form: the
     # canonical aggregate JSON must be byte-identical for any --jobs.

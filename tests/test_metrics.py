@@ -4,7 +4,14 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.sim.metrics import Histogram, MetricsRegistry, mean, percentile, stdev
+from repro.sim.metrics import (
+    AvailabilityTracker,
+    Histogram,
+    MetricsRegistry,
+    mean,
+    percentile,
+    stdev,
+)
 
 
 class TestScalarHelpers:
@@ -150,3 +157,68 @@ class TestMetricsRegistry:
         assert reg.snapshot() == {}
         reg.inc("pre.created")
         assert reg.counter_names() == ["pre.created"]
+
+
+class TestAvailabilityBoundaries:
+    """Regressions for the open-window boundary ties in
+    :meth:`AvailabilityTracker.summary`."""
+
+    def test_window_open_at_now_counts_zero_duration(self):
+        # The last probe fails at the same instant the summary is taken:
+        # the window exists (count and key are visible) but contributes
+        # zero seconds, never a negative duration.
+        tracker = AvailabilityTracker()
+        tracker.record("k", 10.0, ok=False)
+        summary = tracker.summary(now=10.0)
+        assert summary["windows"] == 1.0
+        assert summary["keys"] == 1.0
+        assert summary["total"] == 0.0
+        assert summary["max"] == 0.0
+
+    def test_now_before_open_start_is_clamped(self):
+        tracker = AvailabilityTracker()
+        tracker.record("k", 10.0, ok=False)
+        summary = tracker.summary(now=7.0)
+        assert summary["windows"] == 1.0
+        assert summary["total"] == 0.0  # clamped, not -3.0
+
+    def test_fail_then_ok_same_instant_closes_zero_window(self):
+        tracker = AvailabilityTracker()
+        tracker.record("k", 5.0, ok=False)
+        tracker.record("k", 5.0, ok=True)
+        assert tracker.closed_windows == [("k", 5.0, 5.0)]
+        summary = tracker.summary(now=30.0)
+        assert summary["windows"] == 1.0
+        assert summary["total"] == 0.0
+
+    def test_summary_does_not_mutate_state(self):
+        tracker = AvailabilityTracker()
+        tracker.record("a", 1.0, ok=False)
+        tracker.record("b", 2.0, ok=False)
+        tracker.record("a", 4.0, ok=True)
+        first = tracker.summary(now=6.0)
+        assert tracker.summary(now=6.0) == first
+        assert tracker.open_count == 1
+        assert tracker.closed_count == 1
+        # A later `now` extends only the still-open window.
+        later = tracker.summary(now=8.0)
+        assert later["windows"] == first["windows"]
+        assert later["total"] == pytest.approx(first["total"] + 2.0)
+
+    def test_mixed_open_and_closed_durations(self):
+        tracker = AvailabilityTracker()
+        tracker.record("a", 0.0, ok=False)
+        tracker.record("a", 3.0, ok=True)   # closed: 3s
+        tracker.record("b", 4.0, ok=False)  # open at summary time
+        summary = tracker.summary(now=10.0)
+        assert summary["windows"] == 2.0
+        assert summary["total"] == pytest.approx(9.0)
+        assert summary["max"] == pytest.approx(6.0)
+        assert summary["mean"] == pytest.approx(4.5)
+
+    def test_repeated_failures_keep_original_start(self):
+        tracker = AvailabilityTracker()
+        tracker.record("k", 2.0, ok=False)
+        tracker.record("k", 5.0, ok=False)
+        tracker.record("k", 9.0, ok=True)
+        assert tracker.closed_windows == [("k", 2.0, 9.0)]

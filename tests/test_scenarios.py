@@ -33,6 +33,7 @@ EXPECTED_BUNDLED = {
     "dht-baseline",
     "dht-crash-recover",
     "flash-crowd",
+    "flight-recorder",
     "heterogeneous-latency",
     "open-loop",
     "oracle-baseline",
