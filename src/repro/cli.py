@@ -16,6 +16,9 @@ Usage (after ``pip install -e .``)::
     python -m repro hunt run --seed 7 --budget 8 --shrink --export specs/regressions
     python -m repro hunt shrink --seed 7 --candidate 0
     python -m repro hunt replay specs/regressions    # exit 1 if bounds break
+    python -m repro lint src                         # determinism hazard scan
+    python -m repro lint src --format json           # machine-readable report
+    python -m repro scenarios run baseline --sanitize  # runtime tripwires armed
 
 Each subcommand prints the same tables the benches emit, so the CLI is
 the quickest way to eyeball a result before running the full pytest
@@ -40,7 +43,7 @@ from repro.analysis.tables import format_series, format_table, rows_to_table
 from repro.backends import REGISTRY, get_backend
 from repro.core.cluster import DataFlasksCluster
 from repro.core.config import DataFlasksConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeterminismError
 from repro.scenarios.registry import bundled_names, load_all_bundled, load_bundled
 from repro.scenarios.runner import run_scenario, run_sweep
 from repro.scenarios.spec import ScenarioSpec, load_spec
@@ -108,6 +111,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a human top-line (ops, damage, availability) instead "
         "of the full metric table",
     )
+    run.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="arm the runtime determinism guard: any ambient random.* "
+        "call or time.time read during the run raises DeterminismError "
+        "(trajectory-neutral — summaries match an unsanitized run)",
+    )
     obs_group = run.add_argument_group(
         "observability",
         "flight-recorder pillars; each flag forces its pillar on, the "
@@ -159,6 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the canonical JSON aggregate instead of a table "
         "(byte-identical across runs and across --jobs values)",
+    )
+    sweep.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="arm the runtime determinism guard in every seed's run "
+        "(worker processes included)",
     )
 
     validate = action.add_parser(
@@ -271,6 +287,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--summary",
         action="store_true",
         help="print each replayed score as canonical JSON",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="static determinism-hazard scan (AST pass over the source)",
+        description="Walk the source tree and flag determinism hazards: "
+        "ambient randomness (D1xx), wall-clock reads (D2xx), hash/"
+        "filesystem order dependence (D3xx) and __all__ drift (D4xx). "
+        "Inline comments of the form `repro-lint: ignore[D301] reason` "
+        "(after a `#`) and the "
+        "committed .repro-lint.toml policy govern exemptions. Exits "
+        "non-zero on any un-baselined violation.",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    lint.add_argument(
+        "--config",
+        metavar="FILE",
+        help="policy file (default: ./.repro-lint.toml if present, else "
+        "built-in defaults with an empty baseline)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (json is canonical: sorted keys, stable "
+        "ordering — byte-identical across runs of the same tree)",
+    )
+    lint.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list suppressed, allowlisted and baselined findings",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write a policy file absorbing every current violation "
+        "(each entry gets a TODO justification to fill in), then exit 0",
     )
 
     return parser
@@ -448,7 +506,9 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     spec = _resolve_spec(args)
     if args.action == "run":
         recorder = _build_recorder(spec, args)
-        result = run_scenario(spec, seed=args.seed, recorder=recorder)
+        result = run_scenario(
+            spec, seed=args.seed, recorder=recorder, sanitize=args.sanitize
+        )
         if args.summary:
             print(result.summary_json())
         elif args.brief:
@@ -473,7 +533,9 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         return 0
 
     # sweep
-    result = run_sweep(spec, seeds=args.seeds, jobs=args.jobs)
+    result = run_sweep(
+        spec, seeds=args.seeds, jobs=args.jobs, sanitize=args.sanitize
+    )
     if args.summary:
         print(result.summary_json())
         return 0
@@ -838,6 +900,41 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        LintConfig,
+        baseline_from_violations,
+        format_json,
+        format_text,
+        lint_paths,
+        render_policy_toml,
+    )
+
+    config = LintConfig.load(args.config)
+    if args.write_baseline:
+        # Regenerate against an empty baseline so existing budget entries
+        # don't absorb the violations we are trying to record.
+        from dataclasses import replace
+
+        result = lint_paths(args.paths, replace(config, baseline=[]))
+        baseline = baseline_from_violations(result.violations)
+        with open(args.write_baseline, "w", encoding="utf-8") as f:
+            f.write(render_policy_toml(config, baseline))
+        print(
+            f"wrote {args.write_baseline}: {len(baseline)} baseline "
+            f"entr{'y' if len(baseline) == 1 else 'ies'} absorbing "
+            f"{len(result.violations)} violation(s) — fill in each "
+            "justification before committing"
+        )
+        return 0
+    result = lint_paths(args.paths, config)
+    if args.format == "json":
+        print(format_json(result))
+    else:
+        print(format_text(result, verbose=args.verbose))
+    return result.exit_code
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "fig3": _cmd_fig3,
@@ -847,6 +944,7 @@ _COMMANDS = {
     "scenarios": _cmd_scenarios,
     "report": _cmd_report,
     "hunt": _cmd_hunt,
+    "lint": _cmd_lint,
 }
 
 
@@ -857,3 +955,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ConfigurationError as exc:
         print(f"error: {exc}")
         return 2
+    except DeterminismError as exc:
+        # A sanitized run tripped a runtime guard: report the offender
+        # the same way `repro lint` reports its static counterpart.
+        print(f"determinism violation: {exc}")
+        return 3

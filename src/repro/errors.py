@@ -7,6 +7,19 @@ still being able to distinguish the common cases.
 
 from __future__ import annotations
 
+__all__ = [
+    "CapacityExceededError",
+    "ClientError",
+    "ConfigurationError",
+    "DeterminismError",
+    "NodeDownError",
+    "OperationTimeoutError",
+    "ReproError",
+    "SimulationError",
+    "StoreError",
+    "UnknownNodeError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -34,6 +47,16 @@ class UnknownNodeError(SimulationError):
 
 class ConfigurationError(ReproError):
     """A protocol or cluster was configured with invalid parameters."""
+
+
+class DeterminismError(SimulationError):
+    """Sim-path code reached for ambient randomness or the wall clock.
+
+    Raised by the runtime tripwires
+    (:func:`repro.lint.sanitizer.determinism_guard`) when a sanitized
+    run calls a module-level :mod:`random` function or ``time.time`` —
+    the dynamic counterpart of the ``repro lint`` D1xx/D2xx rules.
+    """
 
 
 class StoreError(ReproError):

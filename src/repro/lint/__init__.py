@@ -1,0 +1,50 @@
+"""Determinism sanitizer: static lint pass + runtime guard.
+
+Every claim the reproduction makes rests on byte-identical same-seed
+replay. This package enforces that contract from two directions:
+
+* ``repro lint`` — an AST pass over the source tree flagging determinism
+  hazards before any event runs: ambient randomness (D1xx), wall-clock
+  reads (D2xx), hash/filesystem order dependence (D3xx) and ``__all__``
+  drift (D4xx), governed by inline suppressions and the committed
+  ``.repro-lint.toml`` policy (see :mod:`repro.lint.rules` for the
+  catalogue).
+* :func:`~repro.lint.sanitizer.determinism_guard` — a runtime tripwire
+  (``scenarios run --sanitize``) that makes the same ambient calls raise
+  mid-run, catching the code paths static analysis cannot see.
+
+Both halves enforce one contract; DESIGN.md ("Determinism contract &
+static analysis") is the narrative version.
+"""
+
+from repro.lint.baseline import apply_baseline, render_policy_toml
+from repro.lint.config import (
+    AllowEntry,
+    BaselineEntry,
+    LintConfig,
+    baseline_from_violations,
+)
+from repro.lint.engine import LintResult, lint_paths, lint_source
+from repro.lint.report import format_json, format_text
+from repro.lint.rules import CATALOG, FAMILIES, Rule, Violation
+from repro.lint.sanitizer import determinism_guard, guard_active
+
+__all__ = [
+    "AllowEntry",
+    "BaselineEntry",
+    "CATALOG",
+    "FAMILIES",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "Violation",
+    "apply_baseline",
+    "baseline_from_violations",
+    "determinism_guard",
+    "format_json",
+    "format_text",
+    "guard_active",
+    "lint_paths",
+    "lint_source",
+    "render_policy_toml",
+]

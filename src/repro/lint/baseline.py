@@ -1,0 +1,97 @@
+"""Baseline bookkeeping: absorbing grandfathered violations, auditing
+stale entries, and rewriting the committed policy file.
+
+The baseline is a *budget*, not a blanket: each entry tolerates at most
+``max`` violations of one rule (or family) under one path prefix, and an
+entry that matches nothing is reported as stale so the file only ever
+shrinks. ``--update-baseline`` regenerates entries from the current
+violations with placeholder justifications — committing one unedited is
+a review smell by design.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.lint.config import BaselineEntry, LintConfig, reset_baseline
+from repro.lint.rules import Violation
+
+__all__ = ["apply_baseline", "render_policy_toml"]
+
+
+def apply_baseline(
+    violations: Sequence[Violation], config: LintConfig
+) -> Tuple[List[Violation], List[Violation], List[BaselineEntry]]:
+    """Split ``violations`` into (remaining, absorbed) and return the
+    stale baseline entries that matched nothing.
+
+    Violations are matched in sorted order against entries in file
+    order, each entry absorbing at most its ``max`` count — so the same
+    tree and policy always produce the same split.
+    """
+    reset_baseline(config)
+    remaining: List[Violation] = []
+    absorbed: List[Violation] = []
+    for violation in sorted(violations, key=Violation.sort_key):
+        entry = _matching_entry(violation, config)
+        if entry is not None:
+            entry.matched += 1
+            absorbed.append(violation)
+        else:
+            remaining.append(violation)
+    stale = [entry for entry in config.baseline if entry.matched == 0]
+    return remaining, absorbed, stale
+
+
+def _matching_entry(violation: Violation, config: LintConfig):
+    for entry in config.baseline:
+        if entry.matches(violation.rule, violation.path):
+            return entry
+    return None
+
+
+def render_policy_toml(config: LintConfig, baseline: Sequence[BaselineEntry]) -> str:
+    """Serialise a policy file with ``baseline`` replacing the current
+    entries. Hand-rolled like the regression-spec exporter: tomllib only
+    reads, and the output must be byte-stable for review diffs."""
+    lines: List[str] = [
+        "# repro-lint policy: sim-path classification, permanent allowlist,",
+        "# and the violation baseline. See DESIGN.md, \"Determinism contract",
+        "# & static analysis\".",
+        "",
+        "schema = 1",
+        "",
+        "[lint]",
+        f"simpath = {_string_array(config.simpath)}",
+        f"set_returning = {_string_array(config.set_returning)}",
+    ]
+    for entry in config.allow:
+        lines += [
+            "",
+            "[[allow]]",
+            f"rule = {_quote(entry.rule)}",
+            f"path = {_quote(entry.path)}",
+            f"justification = {_quote(entry.justification)}",
+        ]
+    for entry in baseline:
+        lines += [
+            "",
+            "[[baseline]]",
+            f"rule = {_quote(entry.rule)}",
+            f"path = {_quote(entry.path)}",
+            f"max = {entry.max_count}",
+            f"justification = {_quote(entry.justification)}",
+        ]
+    return "\n".join(lines) + "\n"
+
+
+def _quote(value: str) -> str:
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _string_array(values: Sequence[str]) -> str:
+    if not values:
+        return "[]"
+    inner = ",\n    ".join(_quote(v) for v in values)
+    return f"[\n    {inner},\n]"

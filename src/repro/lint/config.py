@@ -1,0 +1,215 @@
+"""Lint policy: what counts as sim-path, what is allowlisted, where the
+baseline lives.
+
+Policy is data, not code: the committed ``.repro-lint.toml`` at the repo
+root carries the whole contract — sim-path classification for the D3xx
+order rules, set-returning helper names the visitor should treat as
+set-valued, permanent ``[[allow]]`` exemptions, and the ``[[baseline]]``
+of grandfathered violations (each entry with a written justification;
+the acceptance bar is a handful, trending to zero). The defaults baked
+in here mirror the committed file so ``lint_paths`` works without one
+(fixture tests, external trees).
+"""
+
+from __future__ import annotations
+
+import os
+import tomllib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.lint.rules import is_known_rule
+
+__all__ = [
+    "AllowEntry",
+    "BaselineEntry",
+    "LintConfig",
+    "DEFAULT_CONFIG_NAME",
+    "baseline_from_violations",
+    "reset_baseline",
+]
+
+DEFAULT_CONFIG_NAME = ".repro-lint.toml"
+
+# Packages whose code runs inside the event loop or feeds it: modules
+# here schedule events, draw RNG, or build the messages that do. The
+# D3xx order rules apply only to them — iteration order elsewhere
+# (analysis tables, obs artifacts) cannot perturb a trajectory.
+DEFAULT_SIMPATH: Tuple[str, ...] = (
+    "repro/backends/",
+    "repro/churn/",
+    "repro/core/",
+    "repro/dht/",
+    "repro/droplets/",
+    "repro/faults/",
+    "repro/gossip/",
+    "repro/pss/",
+    "repro/scenarios/",
+    "repro/search/",
+    "repro/sim/",
+    "repro/slicing/",
+    "repro/workload/",
+)
+
+# Call names (bare functions or trailing attributes) the D301 visitor
+# treats as set-valued even though it cannot see their return type:
+# the store digest and the anti-entropy set algebra.
+DEFAULT_SET_RETURNING: Tuple[str, ...] = (
+    "digest",
+    "make_digest",
+    "merge_digests",
+    "missing_from",
+)
+
+
+@dataclass(frozen=True)
+class AllowEntry:
+    """A permanent exemption: ``rule`` (id or family prefix) at ``path``
+    (substring match), with a written justification."""
+
+    rule: str
+    path: str
+    justification: str
+
+    def matches(self, rule: str, path: str) -> bool:
+        return rule.startswith(self.rule) and self.path in path
+
+
+@dataclass
+class BaselineEntry:
+    """A grandfathered violation budget: up to ``max_count`` violations
+    of ``rule`` (id or family prefix) under ``path`` are tolerated.
+    Unlike an allow entry the budget is finite and audited — a stale
+    entry (nothing matched) is reported so the baseline only shrinks."""
+
+    rule: str
+    path: str
+    max_count: int
+    justification: str
+    matched: int = field(default=0, compare=False)
+
+    def matches(self, rule: str, path: str) -> bool:
+        return (
+            self.matched < self.max_count
+            and rule.startswith(self.rule)
+            and self.path in path
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "max": self.max_count,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class LintConfig:
+    """Everything the engine needs to judge a tree."""
+
+    simpath: Tuple[str, ...] = DEFAULT_SIMPATH
+    set_returning: Tuple[str, ...] = DEFAULT_SET_RETURNING
+    allow: List[AllowEntry] = field(default_factory=list)
+    baseline: List[BaselineEntry] = field(default_factory=list)
+    source: Optional[str] = None  # config file path, for reporting
+
+    def is_simpath(self, path: str) -> bool:
+        return any(pattern in path for pattern in self.simpath)
+
+    def allowed(self, rule: str, path: str) -> Optional[AllowEntry]:
+        for entry in self.allow:
+            if entry.matches(rule, path):
+                return entry
+        return None
+
+    # ----------------------------------------------------------- loading
+
+    @classmethod
+    def load(cls, path: Optional[str] = None) -> "LintConfig":
+        """Load policy from ``path``; with ``None``, look for
+        ``.repro-lint.toml`` in the working directory and fall back to
+        pure defaults (empty allowlist and baseline) when absent."""
+        if path is None:
+            candidate = os.path.join(os.getcwd(), DEFAULT_CONFIG_NAME)
+            if not os.path.exists(candidate):
+                return cls()
+            path = candidate
+        try:
+            with open(path, "rb") as f:
+                doc = tomllib.load(f)
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read lint config {path}: {exc}")
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigurationError(f"invalid lint config {path}: {exc}")
+        return cls.from_dict(doc, source=path)
+
+    @classmethod
+    def from_dict(cls, doc: Dict, source: Optional[str] = None) -> "LintConfig":
+        lint = doc.get("lint", {})
+        simpath = tuple(lint.get("simpath", DEFAULT_SIMPATH))
+        set_returning = tuple(lint.get("set_returning", DEFAULT_SET_RETURNING))
+        allow = [
+            AllowEntry(
+                rule=_required(entry, "rule", source, "allow"),
+                path=_required(entry, "path", source, "allow"),
+                justification=_required(entry, "justification", source, "allow"),
+            )
+            for entry in doc.get("allow", ())
+        ]
+        baseline = [
+            BaselineEntry(
+                rule=_required(entry, "rule", source, "baseline"),
+                path=_required(entry, "path", source, "baseline"),
+                max_count=int(entry.get("max", 1)),
+                justification=_required(entry, "justification", source, "baseline"),
+            )
+            for entry in doc.get("baseline", ())
+        ]
+        for entry in list(allow) + list(baseline):
+            if not is_known_rule(entry.rule):
+                raise ConfigurationError(
+                    f"lint config names unknown rule {entry.rule!r} "
+                    f"(expected a Dxxx id or a Dx family prefix)"
+                )
+        return cls(
+            simpath=simpath,
+            set_returning=set_returning,
+            allow=allow,
+            baseline=baseline,
+            source=source,
+        )
+
+
+def _required(entry: Dict, key: str, source: Optional[str], kind: str) -> str:
+    value = entry.get(key)
+    if not isinstance(value, str) or not value.strip():
+        raise ConfigurationError(
+            f"every [[{kind}]] entry needs a non-empty {key!r} string"
+            + (f" ({source})" if source else "")
+        )
+    return value
+
+
+def reset_baseline(config: LintConfig) -> None:
+    """Zero the matched counters so one config can judge several trees."""
+    for entry in config.baseline:
+        entry.matched = 0
+
+
+def baseline_from_violations(
+    violations: Sequence, justification: str = "TODO: justify this exemption"
+) -> List[BaselineEntry]:
+    """Collapse violations into per-(rule, path) baseline entries — the
+    ``--update-baseline`` path. Every generated entry carries the
+    placeholder justification; committing it unedited is a review smell
+    by design."""
+    counts: Dict[Tuple[str, str], int] = {}
+    for violation in violations:
+        key = (violation.rule, violation.path)
+        counts[key] = counts.get(key, 0) + 1
+    return [
+        BaselineEntry(rule=rule, path=path, max_count=count, justification=justification)
+        for (rule, path), count in sorted(counts.items())
+    ]

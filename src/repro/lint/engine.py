@@ -1,0 +1,229 @@
+"""The lint engine: walk files, parse, audit, apply suppressions and the
+baseline, and return one structured result.
+
+Dogfooding note: the engine itself obeys the rules it enforces — file
+discovery sorts every directory listing, so a lint run visits files in
+the same order on every platform and the JSON report is byte-stable.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.baseline import apply_baseline
+from repro.lint.config import BaselineEntry, LintConfig
+from repro.lint.rules import Violation, is_known_rule
+from repro.lint.visitors import audit_module
+
+__all__ = ["LintResult", "lint_paths", "lint_source"]
+
+# `# repro-lint: ignore[D301] reason` — rule ids comma-separated; the
+# trailing reason is mandatory (enforced as rule D002, not by parsing).
+_SUPPRESSION = re.compile(
+    r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9*,\s]+)\]\s*(.*)$"
+)
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run learned about a tree."""
+
+    files: List[str] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    suppressed: List[Violation] = field(default_factory=list)
+    allowed: List[Violation] = field(default_factory=list)
+    baselined: List[Violation] = field(default_factory=list)
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations and not self.errors
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+    def rule_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def lint_paths(
+    paths: Sequence[str], config: Optional[LintConfig] = None
+) -> LintResult:
+    """Lint every ``*.py`` under ``paths`` (files or directories)."""
+    config = config if config is not None else LintConfig()
+    result = LintResult()
+    raw: List[Violation] = []
+    suppressed: List[Violation] = []
+    allowed: List[Violation] = []
+    for target in paths:
+        # A vanished target must fail loudly: "0 files checked, clean"
+        # on a typo'd path would be a vacuously green CI gate.
+        if not os.path.exists(target):
+            result.errors.append(f"{target}: no such file or directory")
+    for path in _iter_python_files(paths):
+        result.files.append(path)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                source = f.read()
+        except OSError as exc:
+            result.errors.append(f"{path}: unreadable: {exc}")
+            continue
+        file_raw, file_errors = _lint_one(source, path, config)
+        result.errors.extend(file_errors)
+        for violation in file_raw:
+            status = _classify(violation, source, config, raw_list=raw)
+            if status == "suppressed":
+                suppressed.append(violation)
+            elif status == "allowed":
+                allowed.append(violation)
+    remaining, baselined, stale = apply_baseline(raw, config)
+    result.violations = remaining
+    result.suppressed = sorted(suppressed, key=Violation.sort_key)
+    result.allowed = sorted(allowed, key=Violation.sort_key)
+    result.baselined = baselined
+    result.stale_baseline = stale
+    return result
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: Optional[LintConfig] = None,
+) -> LintResult:
+    """Lint one in-memory module — the test-fixture entry point.
+
+    Suppressions and the allowlist apply; the baseline applies too, so a
+    config carrying baseline entries round-trips through the same logic
+    as a tree walk.
+    """
+    config = config if config is not None else LintConfig()
+    result = LintResult(files=[path])
+    file_raw, file_errors = _lint_one(source, path, config)
+    result.errors.extend(file_errors)
+    raw: List[Violation] = []
+    for violation in file_raw:
+        status = _classify(violation, source, config, raw_list=raw)
+        if status == "suppressed":
+            result.suppressed.append(violation)
+        elif status == "allowed":
+            result.allowed.append(violation)
+    remaining, baselined, stale = apply_baseline(raw, config)
+    result.violations = remaining
+    result.baselined = baselined
+    result.stale_baseline = stale
+    return result
+
+
+# ------------------------------------------------------------------ internals
+
+
+def _lint_one(
+    source: str, path: str, config: LintConfig
+) -> Tuple[List[Violation], List[str]]:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [], [f"{path}: syntax error: {exc.msg} (line {exc.lineno})"]
+    module_name = os.path.basename(path).rsplit(".", 1)[0]
+    violations = audit_module(tree, path, config, module_name)
+    violations.extend(_audit_suppression_comments(source, path))
+    return violations, []
+
+
+def _audit_suppression_comments(source: str, path: str) -> List[Violation]:
+    """D002: every suppression must carry a written reason."""
+    violations: List[Violation] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION.search(line)
+        if match is None:
+            continue
+        rules = [r.strip() for r in match.group(1).split(",") if r.strip()]
+        reason = match.group(2).strip()
+        if not reason:
+            violations.append(
+                Violation(
+                    rule="D002",
+                    path=path,
+                    line=lineno,
+                    col=match.start(),
+                    message="suppression without a written justification",
+                )
+            )
+        for rule in rules:
+            if rule != "*" and not is_known_rule(rule):
+                violations.append(
+                    Violation(
+                        rule="D002",
+                        path=path,
+                        line=lineno,
+                        col=match.start(),
+                        message=f"suppression names unknown rule {rule!r}",
+                    )
+                )
+    return violations
+
+
+def _classify(
+    violation: Violation,
+    source: str,
+    config: LintConfig,
+    raw_list: List[Violation],
+) -> str:
+    """Route one raw violation: suppressed inline, allowlisted, or kept
+    for the baseline pass (appended to ``raw_list``)."""
+    if violation.rule != "D002" and _is_suppressed(violation, source):
+        return "suppressed"
+    entry = config.allowed(violation.rule, violation.path)
+    if entry is not None:
+        return "allowed"
+    raw_list.append(violation)
+    return "kept"
+
+
+def _is_suppressed(violation: Violation, source: str) -> bool:
+    lines = source.splitlines()
+    if not 1 <= violation.line <= len(lines):
+        return False
+    match = _SUPPRESSION.search(lines[violation.line - 1])
+    if match is None:
+        return False
+    rules = {r.strip() for r in match.group(1).split(",")}
+    return "*" in rules or violation.rule in rules or violation.rule[:2] in rules
+
+
+def _iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    """Every ``*.py`` file under ``paths``, each exactly once, in sorted
+    posix-path order (byte-stable reports whatever the platform)."""
+    seen = set()
+    collected: List[str] = []
+    for target in paths:
+        if os.path.isfile(target):
+            candidate = _posix(target)
+            if candidate not in seen:
+                seen.add(candidate)
+                collected.append(candidate)
+            continue
+        for dirpath, dirnames, filenames in os.walk(target):
+            dirnames.sort()
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                candidate = _posix(os.path.join(dirpath, filename))
+                if candidate not in seen:
+                    seen.add(candidate)
+                    collected.append(candidate)
+    return sorted(collected)
+
+
+def _posix(path: str) -> str:
+    return path.replace(os.sep, "/")

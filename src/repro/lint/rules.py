@@ -1,0 +1,193 @@
+"""The determinism-hazard rule catalogue.
+
+Every experimental claim this reproduction makes rests on byte-identical
+same-seed replay (DESIGN.md, "Determinism guarantees"). The rules here
+name the source-level constructs that silently break that contract, so
+the lint pass can reject them before any event runs — instead of an
+after-the-fact CI byte-compare catching the drift on whichever code path
+a smoke spec happens to exercise.
+
+Rule families:
+
+* **D0xx — suppression hygiene.** The suppression syntax itself is
+  policed: a ``# repro-lint: ignore[...]`` without a written reason is a
+  violation, so every exemption in the tree carries its justification.
+* **D1xx — ambient randomness.** Anything that draws entropy outside the
+  simulation's seeded :class:`~repro.sim.rng.RngRegistry` streams:
+  module-level ``random.*`` functions (hidden shared state), unseeded
+  ``random.Random()``, ``uuid1/uuid4``, ``os.urandom``, ``secrets``.
+* **D2xx — wall-clock reads.** ``time.time``, ``perf_counter`` and
+  friends, ``datetime.now``: real time leaking into simulated time. The
+  few legitimate sites (the opt-in hotspot profiler bracket, flight-
+  recorder provenance) live in the committed baseline with written
+  justifications.
+* **D3xx — order hazards.** Constructs whose result depends on hash
+  seeding or filesystem order: iterating a ``set``/``frozenset`` without
+  ``sorted()`` in sim-path modules, unsorted ``os.listdir``/``glob``,
+  ``id()``-based ordering, the salted ``hash()`` builtin.
+* **D4xx — export hygiene.** ``__all__`` entries that don't resolve,
+  duplicates, modules missing ``__all__`` — the class of API drift PR 5
+  fixed by hand for the slicing package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["Rule", "Violation", "CATALOG", "FAMILIES", "is_known_rule"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lintable determinism hazard."""
+
+    id: str
+    title: str
+    advice: str
+
+    @property
+    def family(self) -> str:
+        """The family prefix (``D1`` for ``D101``)."""
+        return self.id[:2]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One occurrence of a rule in a source file.
+
+    ``path`` is kept exactly as the engine walked it (forward slashes),
+    so baseline entries can match by substring regardless of the
+    directory the linter was invoked from.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+FAMILIES: Dict[str, str] = {
+    "D0": "suppression hygiene",
+    "D1": "ambient randomness",
+    "D2": "wall-clock reads",
+    "D3": "order hazards",
+    "D4": "export hygiene",
+}
+
+_RULES = (
+    Rule(
+        "D002",
+        "suppression without justification",
+        "append a reason after the bracket: "
+        "`# repro-lint: ignore[D301] digest feeds a frozenset`",
+    ),
+    Rule(
+        "D101",
+        "ambient random-module function",
+        "draw from a named stream: `ctx.rng_registry.stream(name)` or "
+        "`random.Random(derive_seed(seed, name))`",
+    ),
+    Rule(
+        "D102",
+        "unseeded random.Random()",
+        "pass an explicit seed, usually via repro.sim.rng.derive_seed",
+    ),
+    Rule(
+        "D103",
+        "external entropy source",
+        "uuid1/uuid4, os.urandom, secrets and SystemRandom read OS entropy; "
+        "derive ids from the run seed instead",
+    ),
+    Rule(
+        "D104",
+        "from-import of ambient random function",
+        "import the module for typing, or use a seeded random.Random",
+    ),
+    Rule(
+        "D201",
+        "wall-clock read",
+        "simulated time is `sim.now` / `node.now`; wall time may only "
+        "appear in baselined provenance/profiling sites",
+    ),
+    Rule(
+        "D202",
+        "wall-clock timer read",
+        "perf_counter/monotonic/process_time/sleep never belong on a sim "
+        "path; profiling sites must be baselined with a justification",
+    ),
+    Rule(
+        "D203",
+        "datetime wall-clock read",
+        "datetime.now/utcnow/today reads real time; stamp artifacts after "
+        "the run, never sim state",
+    ),
+    Rule(
+        "D204",
+        "from-import of wall-clock function",
+        "importing time.time/perf_counter by name hides D201/D202 call "
+        "sites from review; keep the module prefix or baseline the module",
+    ),
+    Rule(
+        "D301",
+        "unsorted set iteration",
+        "wrap in sorted(): set/frozenset order is hash-seed-dependent, so "
+        "iteration order differs between processes",
+    ),
+    Rule(
+        "D302",
+        "unsorted directory listing",
+        "wrap os.listdir/glob results in sorted(): filesystem order is "
+        "platform-dependent",
+    ),
+    Rule(
+        "D303",
+        "id()-based ordering",
+        "CPython id() is an address — it varies run to run; order by a "
+        "stable key (node id, name) instead",
+    ),
+    Rule(
+        "D304",
+        "salted hash() builtin",
+        "str/bytes hash() is salted per process (PYTHONHASHSEED); use "
+        "repro.sim.rng.derive_seed or hashlib for stable digests",
+    ),
+    Rule(
+        "D401",
+        "__all__ entry does not resolve",
+        "every name in __all__ must be bound at module top level",
+    ),
+    Rule(
+        "D402",
+        "duplicate __all__ entry",
+        "each public name belongs in __all__ exactly once",
+    ),
+    Rule(
+        "D403",
+        "module missing __all__",
+        "declare the public surface; star-imports and doc tooling rely on it",
+    ),
+)
+
+CATALOG: Dict[str, Rule] = {rule.id: rule for rule in _RULES}
+
+
+def is_known_rule(rule_id: str) -> bool:
+    """True for exact ids (``D301``) and family prefixes (``D3``)."""
+    return rule_id in CATALOG or rule_id in FAMILIES

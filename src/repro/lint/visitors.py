@@ -1,0 +1,565 @@
+"""The AST walk that finds determinism hazards in one module.
+
+:func:`audit_module` parses nothing itself — the engine hands it a
+parsed tree — and returns raw :class:`~repro.lint.rules.Violation`
+records; suppressions, allowlist and baseline are applied later by the
+engine, so this module stays a pure function of (tree, policy).
+
+Detection is deliberately *syntactic*. A type checker would know more,
+but the hazards this linter exists for are exactly the ones simple
+syntax betrays: a call spelled ``random.random()``, an iteration spelled
+``for x in some_set``, an import spelled ``from time import time``. Two
+pieces of shallow inference sharpen the D3xx rules without a type
+system: per-scope tracking of names assigned from set-valued
+expressions, and a configured list of set-returning helper names
+(``digest``, ``missing_from`` …) the visitor trusts.
+
+Order-neutral consumption is recognised and exempted: a set iterated
+inside ``sorted()``, fed into another ``set()``/``frozenset()``, or
+reduced by ``len``/``min``/``max``/``sum``/``any``/``all`` cannot leak
+hash order into the trajectory, so ``sorted(self.store.digest())``
+lints clean while ``list(self.store.digest())`` does not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.lint.config import LintConfig
+from repro.lint.rules import Violation
+
+__all__ = ["audit_module"]
+
+# D101: the ambient random-module API (module-level functions backed by
+# one hidden shared Random instance). random.Random/SystemRandom are
+# handled separately (D102/D103).
+_AMBIENT_RANDOM = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "getstate", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "seed", "setstate", "shuffle", "triangular", "uniform",
+        "vonmisesvariate", "weibullvariate",
+    }
+)
+
+# D201 / D202: wall-clock reads from the time module.
+_WALL_CLOCK = frozenset({"time", "time_ns"})
+_WALL_TIMER = frozenset(
+    {
+        "clock_gettime", "clock_gettime_ns", "monotonic", "monotonic_ns",
+        "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
+        "sleep", "thread_time", "thread_time_ns",
+    }
+)
+
+# D203: wall-clock classmethods on datetime/date.
+_DATETIME_READS = frozenset({"now", "utcnow", "today"})
+
+# D103: OS-entropy draws.
+_UUID_ENTROPY = frozenset({"uuid1", "uuid4"})
+
+# D302: filesystem-order producers.
+_FS_LISTING = frozenset({"listdir", "scandir", "iterdir", "glob", "iglob", "rglob"})
+
+# Consumers that erase iteration order: anything inside their argument
+# list may iterate sets freely.
+_ORDER_NEUTRAL_CALLS = frozenset(
+    {"all", "any", "frozenset", "len", "max", "min", "set", "sorted", "sum"}
+)
+
+# Consumers that *preserve* iteration order — a set flowing into one of
+# these leaks hash order into sim state.
+_ORDER_SENSITIVE_CALLS = frozenset({"enumerate", "iter", "list", "reversed", "tuple"})
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+_SET_METHODS = frozenset(
+    {"difference", "intersection", "symmetric_difference", "union"}
+)
+
+
+def audit_module(
+    tree: ast.Module, path: str, config: LintConfig, module_name: str
+) -> List[Violation]:
+    """All raw violations in one parsed module, unsorted."""
+    auditor = _Auditor(path, config, module_name)
+    auditor.scan(tree)
+    return auditor.violations
+
+
+class _Auditor:
+    def __init__(self, path: str, config: LintConfig, module_name: str) -> None:
+        self.path = path
+        self.config = config
+        self.module_name = module_name
+        self.simpath = config.is_simpath(path)
+        self.set_returning = frozenset(config.set_returning)
+        self.violations: List[Violation] = []
+        # import-alias tables: local name -> canonical module name
+        self.module_aliases: Dict[str, str] = {}
+        # from-imported names: local name -> (module, original name)
+        self.from_imports: Dict[str, tuple] = {}
+        self.has_star_import = False
+        # stack of per-scope {name: is_set_valued}
+        self.scopes: List[Dict[str, bool]] = [{}]
+        # >0 while inside an order-neutral consumer's arguments
+        self.neutral = 0
+
+    # ------------------------------------------------------------- helpers
+
+    def flag(self, rule: str, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            Violation(
+                rule=rule,
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    def _module_of(self, node: ast.expr) -> Optional[str]:
+        """Canonical module name a Name node refers to, if imported."""
+        if isinstance(node, ast.Name):
+            return self.module_aliases.get(node.id)
+        return None
+
+    def _set_valued(self, node: ast.expr) -> bool:
+        """Syntactic judgement: does ``node`` evaluate to a set?"""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            origin = self.from_imports.get(node.id)
+            if origin is not None:
+                return False
+            for scope in reversed(self.scopes):
+                if node.id in scope:
+                    return scope[node.id]
+            return False
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in {"set", "frozenset"}:
+                    return True
+                if func.id in self.set_returning:
+                    return True
+                origin = self.from_imports.get(func.id)
+                if origin is not None and origin[1] in self.set_returning:
+                    return True
+            if isinstance(func, ast.Attribute):
+                if func.attr in {"union", "intersection", "difference",
+                                 "symmetric_difference"} and self._set_valued(func.value):
+                    return True
+                if func.attr in self.set_returning:
+                    return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return self._set_valued(node.left) or self._set_valued(node.right)
+        if isinstance(node, ast.IfExp):
+            return self._set_valued(node.body) or self._set_valued(node.orelse)
+        return False
+
+    def _is_set_annotation(self, annotation: Optional[ast.expr]) -> bool:
+        if annotation is None:
+            return False
+        target = annotation
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, ast.Attribute):
+            return target.attr in {"Set", "FrozenSet", "AbstractSet", "MutableSet"}
+        if isinstance(target, ast.Name):
+            return target.id in {
+                "set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet",
+            }
+        return False
+
+    def _describe(self, node: ast.expr) -> str:
+        try:
+            text = ast.unparse(node)
+        except Exception:  # pragma: no cover - unparse is total on 3.11
+            return "expression"
+        return text if len(text) <= 40 else text[:37] + "..."
+
+    # --------------------------------------------------------------- scan
+
+    def scan(self, tree: ast.Module) -> None:
+        self._module_hygiene(tree)
+        for node in tree.body:
+            self._walk(node)
+
+    # -------------------------------------------------- D4xx: __all__
+
+    def _module_hygiene(self, tree: ast.Module) -> None:
+        bindings = self._top_level_bindings(tree)
+        exported = self._find_all(tree)
+        if exported is None:
+            if self._needs_all(tree):
+                self.flag(
+                    "D403",
+                    tree.body[0] if tree.body else tree,
+                    "module defines a public surface but no __all__",
+                )
+            return
+        all_node, names = exported
+        if names is None:
+            return  # dynamically built __all__; out of static reach
+        seen: Set[str] = set()
+        for name in names:
+            if name in seen:
+                self.flag("D402", all_node, f"duplicate __all__ entry {name!r}")
+            seen.add(name)
+            if name == "__version__":
+                continue  # dunder assignments are collected, but be lenient
+            if not self.has_star_import and name not in bindings:
+                self.flag(
+                    "D401",
+                    all_node,
+                    f"__all__ names {name!r} but the module never binds it",
+                )
+
+    def _top_level_bindings(self, tree: ast.Module) -> Set[str]:
+        bound: Set[str] = set()
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        self.has_star_import = True
+                    else:
+                        bound.add(alias.asname or alias.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    bound.update(_names_in_target(target))
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+            elif isinstance(node, (ast.If, ast.Try)):
+                # TYPE_CHECKING / fallback-import blocks bind names too.
+                for child in ast.walk(node):
+                    if isinstance(child, (ast.Import, ast.ImportFrom)):
+                        for alias in child.names:
+                            if alias.name != "*":
+                                bound.add(alias.asname or alias.name.split(".")[0])
+                    elif isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                    ):
+                        bound.add(child.name)
+                    elif isinstance(child, ast.Assign):
+                        for target in child.targets:
+                            bound.update(_names_in_target(target))
+        return bound
+
+    def _find_all(self, tree: ast.Module):
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+            ):
+                if isinstance(node.value, (ast.List, ast.Tuple)) and all(
+                    isinstance(el, ast.Constant) and isinstance(el.value, str)
+                    for el in node.value.elts
+                ):
+                    return node, [el.value for el in node.value.elts]
+                return node, None
+        return None
+
+    def _needs_all(self, tree: ast.Module) -> bool:
+        if self.module_name.rpartition(".")[2] in {"__main__", "conftest", "setup"}:
+            return False
+        return any(
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            and not node.name.startswith("_")
+            for node in tree.body
+        )
+
+    # ------------------------------------------------------------ walking
+
+    def _walk(self, node: ast.AST) -> None:
+        handler = getattr(self, f"_on_{type(node).__name__}", None)
+        if handler is not None:
+            handler(node)
+        else:
+            self._generic(node)
+
+    def _generic(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            self._walk(child)
+
+    # imports ----------------------------------------------------------
+
+    def _on_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            self.module_aliases[alias.asname or root] = alias.name
+
+    def _on_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self.from_imports[local] = (module, alias.name)
+            if module == "random" and alias.name in _AMBIENT_RANDOM:
+                self.flag(
+                    "D104",
+                    node,
+                    f"from random import {alias.name} pulls the shared ambient "
+                    "generator into the namespace",
+                )
+            elif module == "time" and alias.name in (_WALL_CLOCK | _WALL_TIMER):
+                self.flag(
+                    "D204",
+                    node,
+                    f"from time import {alias.name} imports a wall-clock read",
+                )
+            elif module == "secrets" or (module == "os" and alias.name == "urandom"):
+                self.flag(
+                    "D103",
+                    node,
+                    f"from {module} import {alias.name} imports an OS entropy source",
+                )
+            elif module == "uuid" and alias.name in _UUID_ENTROPY:
+                self.flag(
+                    "D103",
+                    node,
+                    f"from uuid import {alias.name} imports an OS entropy source",
+                )
+
+    # scopes -----------------------------------------------------------
+
+    def _on_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+
+    def _on_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+
+    def _enter_function(self, node) -> None:
+        scope: Dict[str, bool] = {}
+        for arg in list(node.args.args) + list(node.args.kwonlyargs):
+            if self._is_set_annotation(arg.annotation):
+                scope[arg.arg] = True
+        self.scopes.append(scope)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child)
+        self.scopes.pop()
+
+    def _on_Assign(self, node: ast.Assign) -> None:
+        self._walk(node.value)
+        is_set = self._set_valued(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self.scopes[-1][target.id] = is_set
+            else:
+                self._walk(target)
+
+    def _on_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._walk(node.value)
+        if isinstance(node.target, ast.Name):
+            self.scopes[-1][node.target.id] = self._is_set_annotation(
+                node.annotation
+            ) or (node.value is not None and self._set_valued(node.value))
+
+    # expressions ------------------------------------------------------
+
+    def _on_Attribute(self, node: ast.Attribute) -> None:
+        module = self._module_of(node.value)
+        if module == "random":
+            if node.attr in _AMBIENT_RANDOM:
+                self.flag(
+                    "D101",
+                    node,
+                    f"random.{node.attr} uses the shared ambient generator",
+                )
+        elif module == "time":
+            if node.attr in _WALL_CLOCK:
+                self.flag("D201", node, f"time.{node.attr} reads the wall clock")
+            elif node.attr in _WALL_TIMER:
+                self.flag("D202", node, f"time.{node.attr} reads a wall-clock timer")
+        elif module == "os" and node.attr == "urandom":
+            self.flag("D103", node, "os.urandom reads OS entropy")
+        elif module == "secrets":
+            self.flag("D103", node, f"secrets.{node.attr} reads OS entropy")
+        elif module == "uuid" and node.attr in _UUID_ENTROPY:
+            self.flag("D103", node, f"uuid.{node.attr} draws OS entropy")
+        self._generic(node)
+
+    def _on_Call(self, node: ast.Call) -> None:
+        func = node.func
+        self._check_call_target(node, func)
+        neutral_call = (
+            isinstance(func, ast.Name)
+            and func.id in _ORDER_NEUTRAL_CALLS
+            and func.id not in self.from_imports
+        )
+        # Iteration-order sensitive consumers taking a set argument.
+        if not neutral_call and self.neutral == 0 and self.simpath:
+            sensitive = (
+                isinstance(func, ast.Name) and func.id in _ORDER_SENSITIVE_CALLS
+            ) or (isinstance(func, ast.Attribute) and func.attr == "join")
+            if sensitive:
+                for arg in node.args:
+                    if self._set_valued(arg):
+                        self.flag(
+                            "D301",
+                            arg,
+                            f"{self._describe(node)} materialises a set in "
+                            "hash order",
+                        )
+        self._walk(func)
+        if neutral_call:
+            self.neutral += 1
+        for arg in node.args:
+            self._walk(arg)
+        for keyword in node.keywords:
+            self._walk(keyword.value)
+        if neutral_call:
+            self.neutral -= 1
+
+    def _check_call_target(self, node: ast.Call, func: ast.expr) -> None:
+        # Unseeded Random() / SystemRandom, by module attribute or import.
+        name: Optional[str] = None
+        if isinstance(func, ast.Attribute) and self._module_of(func.value) == "random":
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            origin = self.from_imports.get(func.id)
+            if origin is not None and origin[0] == "random":
+                name = origin[1]
+        if name == "Random" and not node.args and not node.keywords:
+            self.flag(
+                "D102",
+                node,
+                "random.Random() without a seed falls back to OS entropy",
+            )
+        elif name == "SystemRandom":
+            self.flag("D103", node, "random.SystemRandom draws OS entropy")
+
+        # Wall-clock / entropy calls through from-imported aliases.
+        if isinstance(func, ast.Name):
+            origin = self.from_imports.get(func.id)
+            if origin is not None:
+                module, original = origin
+                if module == "time" and original in _WALL_CLOCK:
+                    self.flag("D201", node, f"{func.id}() reads the wall clock")
+                elif module == "time" and original in _WALL_TIMER:
+                    self.flag("D202", node, f"{func.id}() reads a wall-clock timer")
+                elif module == "uuid" and original in _UUID_ENTROPY:
+                    self.flag("D103", node, f"{func.id}() draws OS entropy")
+                elif module == "os" and original == "urandom":
+                    self.flag("D103", node, f"{func.id}() reads OS entropy")
+                elif module == "secrets":
+                    self.flag("D103", node, f"{func.id}() reads OS entropy")
+
+        # datetime.now()/utcnow()/today().
+        if isinstance(func, ast.Attribute) and func.attr in _DATETIME_READS:
+            base = func.value
+            is_datetime = False
+            if isinstance(base, ast.Name):
+                origin = self.from_imports.get(base.id)
+                is_datetime = (
+                    origin is not None
+                    and origin[0] == "datetime"
+                    and origin[1] in {"date", "datetime"}
+                ) or self._module_of(base) == "datetime"
+            elif isinstance(base, ast.Attribute):
+                is_datetime = (
+                    self._module_of(base.value) == "datetime"
+                    and base.attr in {"date", "datetime"}
+                )
+            if is_datetime:
+                self.flag(
+                    "D203",
+                    node,
+                    f"{self._describe(func)}() reads the wall clock",
+                )
+
+        # Filesystem-order producers (outside a neutral consumer).
+        if self.neutral == 0:
+            listing: Optional[str] = None
+            if isinstance(func, ast.Attribute) and func.attr in _FS_LISTING:
+                base_module = self._module_of(func.value)
+                if base_module in {"os", "glob"} or func.attr in {
+                    "iterdir", "rglob",
+                } or (func.attr == "glob" and base_module != "glob"):
+                    listing = self._describe(func)
+                elif base_module is None and func.attr in {"listdir", "iglob"}:
+                    listing = self._describe(func)
+            elif isinstance(func, ast.Name):
+                origin = self.from_imports.get(func.id)
+                if origin is not None and origin[0] in {"os", "glob"} and (
+                    origin[1] in _FS_LISTING
+                ):
+                    listing = func.id
+            if listing is not None:
+                self.flag(
+                    "D302",
+                    node,
+                    f"{listing} yields entries in filesystem order; wrap in sorted()",
+                )
+
+        # id()/hash() ordering hazards, sim-path only.
+        if self.simpath and isinstance(func, ast.Name) and func.id in {"id", "hash"}:
+            if func.id not in self.from_imports:
+                rule = "D303" if func.id == "id" else "D304"
+                self.flag(
+                    rule,
+                    node,
+                    f"{func.id}() is process-dependent"
+                    + (" (salted per run for str/bytes)" if func.id == "hash" else ""),
+                )
+
+    def _on_For(self, node: ast.For) -> None:
+        if self.simpath and self.neutral == 0 and self._set_valued(node.iter):
+            self.flag(
+                "D301",
+                node.iter,
+                f"iterating {self._describe(node.iter)} visits elements in "
+                "hash order",
+            )
+        self._generic(node)
+
+    def _on_comprehension_holder(self, node) -> None:
+        """Shared D301 check for list/dict/generator comprehensions.
+
+        Set comprehensions are order-neutral by construction and handled
+        separately. A generator feeding an order-neutral call is already
+        exempted by the ``neutral`` counter at the call site.
+        """
+        if self.simpath and self.neutral == 0:
+            for comp in node.generators:
+                if self._set_valued(comp.iter):
+                    self.flag(
+                        "D301",
+                        comp.iter,
+                        f"comprehension over {self._describe(comp.iter)} runs in "
+                        "hash order",
+                    )
+        self._generic(node)
+
+    def _on_ListComp(self, node: ast.ListComp) -> None:
+        self._on_comprehension_holder(node)
+
+    def _on_DictComp(self, node: ast.DictComp) -> None:
+        self._on_comprehension_holder(node)
+
+    def _on_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._on_comprehension_holder(node)
+
+    def _on_SetComp(self, node: ast.SetComp) -> None:
+        # Building a set from a set is order-neutral all the way down.
+        self.neutral += 1
+        self._generic(node)
+        self.neutral -= 1
+
+
+def _names_in_target(target: ast.expr) -> Set[str]:
+    names: Set[str] = set()
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            names.update(_names_in_target(element))
+    return names

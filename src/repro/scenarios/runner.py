@@ -114,7 +114,10 @@ class SweepResult:
 
 
 def run_scenario(
-    spec: ScenarioSpec, seed: Optional[int] = None, recorder=None
+    spec: ScenarioSpec,
+    seed: Optional[int] = None,
+    recorder=None,
+    sanitize: bool = False,
 ) -> ScenarioResult:
     """Execute ``spec`` once; ``seed`` overrides the spec's default.
 
@@ -127,12 +130,26 @@ def run_scenario(
     byte-identical metrics to an unrecorded one — the obs determinism
     contract CI byte-compares.
 
+    ``sanitize`` arms :func:`repro.lint.sanitizer.determinism_guard`
+    for the duration of the run: any ambient ``random.*`` call or
+    ``time.time`` read on the sim path raises
+    :class:`~repro.errors.DeterminismError` instead of silently
+    perturbing the trajectory. The guard is trajectory-neutral — a
+    sanitized run that completes returns byte-identical summaries to an
+    unsanitized one, which the determinism CI matrix proves by
+    byte-comparing both.
+
     Runs under :func:`~repro.sim.simulator.relaxed_gc`: simulation
     garbage is acyclic, and default cyclic-GC thresholds cost up to ~3x
     wall-clock at 1,000+ nodes for nothing. GC settings do not affect
     the trajectory, so summaries stay byte-identical either way.
     """
     seed = spec.seed if seed is None else seed
+    if sanitize:
+        from repro.lint.sanitizer import determinism_guard
+
+        with determinism_guard(), relaxed_gc():
+            return _run_scenario_inner(spec, seed, recorder)
     with relaxed_gc():
         return _run_scenario_inner(spec, seed, recorder)
 
@@ -227,14 +244,17 @@ def _run_scenario_inner(spec: ScenarioSpec, seed: int, recorder=None) -> Scenari
     return ScenarioResult(spec.name, seed, dict(sorted(metrics.items())))
 
 
-def _run_scenario_job(args: Tuple[ScenarioSpec, int]) -> ScenarioResult:
+def _run_scenario_job(args: Tuple[ScenarioSpec, int, bool]) -> ScenarioResult:
     """Module-level shim so worker processes can unpickle the call."""
-    spec, seed = args
-    return run_scenario(spec, seed)
+    spec, seed, sanitize = args
+    return run_scenario(spec, seed, sanitize=sanitize)
 
 
 def run_sweep(
-    spec: ScenarioSpec, seeds: Sequence[int], jobs: int = 1
+    spec: ScenarioSpec,
+    seeds: Sequence[int],
+    jobs: int = 1,
+    sanitize: bool = False,
 ) -> SweepResult:
     """Run ``spec`` once per seed and aggregate the metrics.
 
@@ -243,7 +263,8 @@ def run_sweep(
     deterministic simulation and results are collected in seed order, so
     the returned :class:`SweepResult` — including
     :meth:`SweepResult.summary_json` — is byte-identical whatever the
-    job count.
+    job count. ``sanitize`` arms the runtime determinism guard for every
+    seed's run (see :func:`run_scenario`) — in worker processes too.
 
     Caveat for custom backends: workers import only :mod:`repro`
     modules, so a backend registered at runtime (``@register_backend``
@@ -259,9 +280,11 @@ def run_sweep(
         with ProcessPoolExecutor(max_workers=min(jobs, len(seeds))) as pool:
             # pool.map preserves input order: results arrive seed-ordered
             # no matter which worker finishes first.
-            results = list(pool.map(_run_scenario_job, [(spec, s) for s in seeds]))
+            results = list(
+                pool.map(_run_scenario_job, [(spec, s, sanitize) for s in seeds])
+            )
     else:
-        results = [run_scenario(spec, seed) for seed in seeds]
+        results = [run_scenario(spec, seed, sanitize=sanitize) for seed in seeds]
     return SweepResult(
         scenario=spec.name,
         seeds=seeds,

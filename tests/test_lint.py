@@ -1,0 +1,484 @@
+"""The determinism linter: rule fixtures, suppressions, allowlist,
+baseline round-trips, the JSON report, and the tree-level contract that
+``repro lint src`` is clean against the committed policy."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tomllib
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import (
+    AllowEntry,
+    BaselineEntry,
+    CATALOG,
+    FAMILIES,
+    LintConfig,
+    apply_baseline,
+    baseline_from_violations,
+    format_json,
+    format_text,
+    lint_paths,
+    lint_source,
+    render_policy_toml,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Fixture paths: one inside the sim-path set (D3xx rules armed), one
+# outside it (order hazards exempt by policy).
+SIM = "repro/sim/fixture.py"
+OFF = "repro/analysis/fixture.py"
+
+
+def rules_of(result):
+    return [v.rule for v in result.violations]
+
+
+def lint(source, path=SIM, config=None):
+    return lint_source(source, path=path, config=config)
+
+
+# --------------------------------------------------------------- catalogue
+
+
+class TestCatalog:
+    def test_every_rule_belongs_to_a_family(self):
+        for rule_id, rule in CATALOG.items():
+            assert rule_id[:2] in FAMILIES, rule_id
+            assert rule.advice and rule.title
+
+    def test_fixture_paths_classify_as_intended(self):
+        config = LintConfig()
+        assert config.is_simpath(SIM)
+        assert not config.is_simpath(OFF)
+
+
+# ------------------------------------------------------- D1xx: randomness
+
+
+class TestAmbientRandomness:
+    def test_module_level_random_call(self):
+        result = lint("import random\nx = random.random()\n")
+        assert "D101" in rules_of(result)
+
+    def test_module_level_shuffle(self):
+        result = lint("import random\nrandom.shuffle(items)\n")
+        assert "D101" in rules_of(result)
+
+    def test_seeded_instance_is_clean(self):
+        result = lint("import random\nrng = random.Random(7)\nx = rng.random()\n")
+        assert rules_of(result) == []
+
+    def test_unseeded_random_instance(self):
+        result = lint("import random\nrng = random.Random()\n")
+        assert rules_of(result) == ["D102"]
+
+    def test_system_random(self):
+        result = lint("import random\nrng = random.SystemRandom()\n")
+        assert "D103" in rules_of(result)
+
+    def test_secrets_and_urandom(self):
+        assert "D103" in rules_of(lint("import secrets\nt = secrets.token_bytes(8)\n"))
+        assert "D103" in rules_of(lint("import os\nb = os.urandom(16)\n"))
+        assert "D103" in rules_of(lint("from os import urandom\n"))
+
+    def test_uuid_entropy(self):
+        assert "D103" in rules_of(lint("import uuid\nu = uuid.uuid4()\n"))
+        assert "D103" in rules_of(lint("from uuid import uuid4\n"))
+
+    def test_from_import_of_ambient_function(self):
+        result = lint("from random import randint\n")
+        assert "D104" in rules_of(result)
+
+    def test_import_alias_is_tracked(self):
+        result = lint("import random as rnd\nx = rnd.random()\n")
+        assert "D101" in rules_of(result)
+
+
+# ------------------------------------------------------- D2xx: wall clock
+
+
+class TestWallClock:
+    def test_time_time(self):
+        result = lint("import time\nt = time.time()\n")
+        assert "D201" in rules_of(result)
+
+    def test_perf_counter(self):
+        result = lint("import time\nt = time.perf_counter()\n")
+        assert "D202" in rules_of(result)
+
+    def test_datetime_now(self):
+        result = lint("from datetime import datetime\nd = datetime.now()\n")
+        assert "D203" in rules_of(result)
+
+    def test_datetime_module_attribute(self):
+        result = lint("import datetime\nd = datetime.datetime.utcnow()\n")
+        assert "D203" in rules_of(result)
+
+    def test_from_import_flags_import_and_call(self):
+        result = lint("from time import perf_counter\nt = perf_counter()\n")
+        assert rules_of(result) == ["D204", "D202"] or sorted(
+            rules_of(result)
+        ) == ["D202", "D204"]
+
+    def test_aliased_from_import_call(self):
+        result = lint("from time import time as now\nt = now()\n")
+        rules = rules_of(result)
+        assert "D204" in rules and "D201" in rules
+
+    def test_wall_clock_flagged_off_simpath_too(self):
+        # D2xx is policy everywhere: legitimate provenance sites live in
+        # the committed baseline, not in a path carve-out.
+        result = lint("import time\nt = time.time()\n", path=OFF)
+        assert "D201" in rules_of(result)
+
+
+# ---------------------------------------------------- D3xx: order hazards
+
+
+class TestOrderHazards:
+    def test_for_over_set_literal(self):
+        result = lint("s = {1, 2, 3}\nfor x in s:\n    pass\n")
+        assert "D301" in rules_of(result)
+
+    def test_sorted_set_is_clean(self):
+        result = lint("s = {1, 2, 3}\nfor x in sorted(s):\n    pass\n")
+        assert rules_of(result) == []
+
+    def test_list_of_configured_set_returning_helper(self):
+        result = lint("out = list(digest())\n")
+        assert "D301" in rules_of(result)
+
+    def test_frozenset_of_digest_is_clean(self):
+        # The anti-entropy idiom: set-to-set flows never leak hash order.
+        result = lint("owned = frozenset(k for k in digest())\n")
+        assert rules_of(result) == []
+
+    def test_len_min_max_are_neutral(self):
+        result = lint("s = {1, 2}\nn = len(s)\nm = max(s)\n")
+        assert rules_of(result) == []
+
+    def test_comprehension_over_set(self):
+        result = lint("s = {1, 2}\nout = [x for x in s]\n")
+        assert "D301" in rules_of(result)
+
+    def test_set_comprehension_is_neutral(self):
+        result = lint("s = {1, 2}\nout = {x + 1 for x in s}\n")
+        assert rules_of(result) == []
+
+    def test_set_union_tracks_through_binop(self):
+        result = lint("a = {1}\nb = {2}\nfor x in a | b:\n    pass\n")
+        assert "D301" in rules_of(result)
+
+    def test_annotated_set_argument(self):
+        source = (
+            "from typing import Set\n"
+            "def f(keys: Set[str]):\n"
+            "    return list(keys)\n"
+        )
+        result = lint(source)
+        assert "D301" in rules_of(result)
+
+    def test_order_rules_gated_to_simpath(self):
+        result = lint("s = {1, 2}\nfor x in s:\n    pass\n", path=OFF)
+        assert rules_of(result) == []
+
+    def test_os_listdir_without_sorted(self):
+        result = lint("import os\nnames = os.listdir(p)\n")
+        assert "D302" in rules_of(result)
+
+    def test_sorted_listdir_is_clean(self):
+        result = lint("import os\nnames = sorted(os.listdir(p))\n")
+        assert rules_of(result) == []
+
+    def test_glob_module(self):
+        result = lint("import glob\nfiles = glob.glob(pat)\n")
+        assert "D302" in rules_of(result)
+
+    def test_id_and_hash_on_simpath(self):
+        assert "D303" in rules_of(lint("k = id(obj)\n"))
+        assert "D304" in rules_of(lint("h = hash(name)\n"))
+
+    def test_id_and_hash_off_simpath_are_clean(self):
+        assert rules_of(lint("k = id(obj)\n", path=OFF)) == []
+        assert rules_of(lint("h = hash(name)\n", path=OFF)) == []
+
+
+# -------------------------------------------------- D4xx: export hygiene
+
+
+class TestExportHygiene:
+    def test_all_entry_that_never_binds(self):
+        result = lint('__all__ = ["missing"]\n')
+        assert "D401" in rules_of(result)
+
+    def test_duplicate_all_entry(self):
+        result = lint('__all__ = ["f", "f"]\ndef f():\n    pass\n')
+        assert "D402" in rules_of(result)
+
+    def test_public_surface_without_all(self):
+        result = lint("def api():\n    pass\n")
+        assert "D403" in rules_of(result)
+
+    def test_private_only_module_needs_no_all(self):
+        result = lint("def _helper():\n    pass\n")
+        assert rules_of(result) == []
+
+    def test_conftest_is_exempt(self):
+        result = lint(
+            "def fixture_like():\n    pass\n", path="repro/sim/conftest.py"
+        )
+        assert rules_of(result) == []
+
+    def test_complete_all_is_clean(self):
+        source = '__all__ = ["api"]\n\ndef api():\n    pass\n'
+        assert rules_of(lint(source)) == []
+
+
+# ---------------------------------------------------------- suppressions
+
+
+class TestSuppressions:
+    def test_inline_suppression_with_reason(self):
+        source = (
+            "s = {1, 2}\n"
+            "for x in s:  # repro-lint: ignore[D301] order-neutral fold\n"
+            "    pass\n"
+        )
+        result = lint(source)
+        assert rules_of(result) == []
+        assert [v.rule for v in result.suppressed] == ["D301"]
+
+    def test_family_prefix_suppression(self):
+        source = (
+            "s = {1, 2}\n"
+            "for x in s:  # repro-lint: ignore[D3] audited by hand\n"
+            "    pass\n"
+        )
+        result = lint(source)
+        assert rules_of(result) == []
+
+    def test_star_suppression(self):
+        source = "import time\nt = time.time()  # repro-lint: ignore[*] test rig\n"
+        result = lint(source)
+        assert rules_of(result) == []
+
+    def test_suppression_without_reason_is_d002(self):
+        source = (
+            "s = {1, 2}\n"
+            "for x in s:  # repro-lint: ignore[D301]\n"
+            "    pass\n"
+        )
+        result = lint(source)
+        assert "D002" in rules_of(result)
+
+    def test_suppression_of_unknown_rule_is_d002(self):
+        source = "x = 1  # repro-lint: ignore[D999] no such rule\n"
+        result = lint(source)
+        assert rules_of(result) == ["D002"]
+
+    def test_d002_cannot_suppress_itself(self):
+        source = (
+            "s = {1, 2}\n"
+            "for x in s:  # repro-lint: ignore[D301, D002]\n"
+            "    pass\n"
+        )
+        result = lint(source)
+        assert "D002" in rules_of(result)
+
+
+# ------------------------------------------------------------- allowlist
+
+
+class TestAllowlist:
+    def test_allow_entry_diverts_violation(self):
+        config = LintConfig(
+            allow=[AllowEntry(rule="D2", path="fixture.py", justification="test")]
+        )
+        result = lint("import time\nt = time.time()\n", config=config)
+        assert rules_of(result) == []
+        assert [v.rule for v in result.allowed] == ["D201"]
+
+    def test_allow_is_scoped_by_path(self):
+        config = LintConfig(
+            allow=[AllowEntry(rule="D2", path="elsewhere/", justification="test")]
+        )
+        result = lint("import time\nt = time.time()\n", config=config)
+        assert "D201" in rules_of(result)
+
+    def test_unknown_rule_in_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LintConfig.from_dict(
+                {"allow": [{"rule": "D9", "path": "x", "justification": "y"}]}
+            )
+
+    def test_entry_without_justification_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LintConfig.from_dict({"baseline": [{"rule": "D2", "path": "x"}]})
+
+
+# --------------------------------------------------------------- baseline
+
+
+class TestBaseline:
+    def test_budget_absorbs_up_to_max(self):
+        config = LintConfig(
+            baseline=[
+                BaselineEntry(
+                    rule="D201", path="fixture.py", max_count=1, justification="t"
+                )
+            ]
+        )
+        result = lint(
+            "import time\na = time.time()\nb = time.time()\n", config=config
+        )
+        assert rules_of(result) == ["D201"]  # second hit overflows the budget
+        assert [v.rule for v in result.baselined] == ["D201"]
+
+    def test_stale_entry_is_reported(self):
+        config = LintConfig(
+            baseline=[
+                BaselineEntry(
+                    rule="D101", path="nowhere.py", max_count=3, justification="t"
+                )
+            ]
+        )
+        result = lint("x = 1\n", config=config)
+        assert result.clean  # stale entries warn, they do not fail
+        assert [e.path for e in result.stale_baseline] == ["nowhere.py"]
+        assert "stale baseline entry" in format_text(result)
+
+    def test_apply_baseline_counts_are_fresh_per_call(self):
+        config = LintConfig(
+            baseline=[
+                BaselineEntry(
+                    rule="D2", path="fixture.py", max_count=1, justification="t"
+                )
+            ]
+        )
+        source = "import time\nt = time.time()\n"
+        first = lint(source, config=config)
+        second = lint(source, config=config)
+        assert rules_of(first) == rules_of(second) == []
+
+    def test_baseline_from_violations_collapses_by_rule_and_path(self):
+        result = lint("import time\na = time.time()\nb = time.time()\n")
+        entries = baseline_from_violations(result.violations)
+        assert len(entries) == 1
+        assert entries[0].rule == "D201"
+        assert entries[0].max_count == 2
+
+    def test_policy_toml_round_trip(self):
+        config = LintConfig(
+            allow=[AllowEntry(rule="D3", path="repro/x.py", justification="why")],
+        )
+        baseline = [
+            BaselineEntry(
+                rule="D2", path="repro/obs/", max_count=5, justification="prov"
+            )
+        ]
+        text = render_policy_toml(config, baseline)
+        doc = tomllib.loads(text)
+        loaded = LintConfig.from_dict(doc)
+        assert loaded.simpath == config.simpath
+        assert loaded.set_returning == config.set_returning
+        assert loaded.allow == config.allow
+        assert loaded.baseline == baseline
+
+    def test_rendered_policy_is_byte_stable(self):
+        config = LintConfig()
+        baseline = [
+            BaselineEntry(rule="D2", path="a/", max_count=1, justification="j")
+        ]
+        assert render_policy_toml(config, baseline) == render_policy_toml(
+            config, baseline
+        )
+
+
+# ------------------------------------------------------------ JSON report
+
+
+class TestJsonReport:
+    def test_schema_and_keys(self):
+        result = lint("import time\nt = time.time()\n")
+        payload = json.loads(format_json(result))
+        assert payload["schema"] == 1
+        assert payload["clean"] is False
+        assert payload["files_checked"] == 1
+        assert payload["counts"]["violations"] == 1
+        assert payload["counts"]["by_rule"] == {"D201": 1}
+        violation = payload["violations"][0]
+        assert set(violation) >= {"rule", "path", "line", "col", "message"}
+
+    def test_json_is_byte_stable(self):
+        source = "import time\nt = time.time()\n"
+        assert format_json(lint(source)) == format_json(lint(source))
+
+
+# ------------------------------------------------------ tree-level contract
+
+
+class TestTreeContract:
+    def test_src_is_clean_against_committed_policy(self):
+        """The acceptance bar: `repro lint src` exits 0 with the
+        committed .repro-lint.toml, and every baseline entry is live."""
+        config = LintConfig.load(os.path.join(REPO_ROOT, ".repro-lint.toml"))
+        result = lint_paths([os.path.join(REPO_ROOT, "src")], config)
+        assert result.violations == [], format_text(result)
+        assert result.errors == []
+        assert result.stale_baseline == [], "baseline carries dead entries"
+
+    def test_committed_baseline_is_small_and_justified(self):
+        config = LintConfig.load(os.path.join(REPO_ROOT, ".repro-lint.toml"))
+        assert len(config.baseline) <= 5
+        for entry in config.baseline:
+            assert len(entry.justification.split()) >= 5, entry
+            assert "TODO" not in entry.justification, entry
+
+    def test_cli_lint_json_clean(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "src", "--format", "json"],
+            cwd=REPO_ROOT,
+            env={**os.environ, "PYTHONPATH": os.path.join(REPO_ROOT, "src")},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["clean"] is True
+
+    def test_cli_lint_fails_on_violation(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "lint", str(bad),
+                "--config", os.path.join(REPO_ROOT, ".repro-lint.toml"),
+            ],
+            cwd=REPO_ROOT,
+            env={**os.environ, "PYTHONPATH": os.path.join(REPO_ROOT, "src")},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "D201" in proc.stdout
+
+    def test_syntax_error_is_reported_not_raised(self):
+        result = lint("def broken(:\n")
+        assert result.errors and not result.clean
+
+    def test_missing_target_fails_instead_of_vacuous_clean(self):
+        result = lint_paths(["no/such/dir"], LintConfig())
+        assert not result.clean
+        assert result.exit_code == 1
+        assert "no such file" in result.errors[0]
+
+    def test_missing_config_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="cannot read lint config"):
+            LintConfig.load("/no/such/.repro-lint.toml")

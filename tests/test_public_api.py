@@ -4,7 +4,23 @@ import repro
 
 
 def test_version_string():
-    assert repro.__version__ == "1.5.0"
+    assert repro.__version__ == "1.6.0"
+
+
+def test_every_module_all_resolves():
+    # The runtime counterpart of the D401/D402 lint rules: every
+    # __all__ entry in every submodule resolves and none repeats.
+    import importlib
+    import pkgutil
+
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(info.name)
+        names = getattr(module, "__all__", None)
+        if names is None:
+            continue
+        assert len(names) == len(set(names)), f"{info.name}.__all__ has duplicates"
+        for name in names:
+            assert hasattr(module, name), f"{info.name}.{name} missing"
 
 
 def test_top_level_exports():
@@ -68,6 +84,7 @@ def test_errors_hierarchy():
     assert issubclass(errors.CapacityExceededError, errors.StoreError)
     assert issubclass(errors.OperationTimeoutError, errors.ClientError)
     assert issubclass(errors.NodeDownError, errors.SimulationError)
+    assert issubclass(errors.DeterminismError, errors.SimulationError)
 
     timeout = errors.OperationTimeoutError("get", "key", 5.0)
     assert "get" in str(timeout) and "key" in str(timeout)
