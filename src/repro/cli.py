@@ -18,7 +18,9 @@ Usage (after ``pip install -e .``)::
     python -m repro hunt replay specs/regressions    # exit 1 if bounds break
     python -m repro lint src                         # determinism hazard scan
     python -m repro lint src --format json           # machine-readable report
+    python -m repro lint src --select I2,D1          # scope to chosen families
     python -m repro scenarios run baseline --sanitize  # runtime tripwires armed
+    python -m repro scenarios run baseline --isolation-check  # payload checker
 
 Each subcommand prints the same tables the benches emit, so the CLI is
 the quickest way to eyeball a result before running the full pytest
@@ -43,7 +45,7 @@ from repro.analysis.tables import format_series, format_table, rows_to_table
 from repro.backends import REGISTRY, get_backend
 from repro.core.cluster import DataFlasksCluster
 from repro.core.config import DataFlasksConfig
-from repro.errors import ConfigurationError, DeterminismError
+from repro.errors import ConfigurationError, DeterminismError, IsolationError
 from repro.scenarios.registry import bundled_names, load_all_bundled, load_bundled
 from repro.scenarios.runner import run_scenario, run_sweep
 from repro.scenarios.spec import ScenarioSpec, load_spec
@@ -118,6 +120,14 @@ def build_parser() -> argparse.ArgumentParser:
         "call or time.time read during the run raises DeterminismError "
         "(trajectory-neutral — summaries match an unsanitized run)",
     )
+    run.add_argument(
+        "--isolation-check",
+        action="store_true",
+        help="arm the copy-on-send payload checker: every payload is "
+        "digested at Network.send and re-verified at delivery; an "
+        "in-flight mutation raises IsolationError (trajectory-neutral — "
+        "summaries match an unchecked run)",
+    )
     obs_group = run.add_argument_group(
         "observability",
         "flight-recorder pillars; each flag forces its pillar on, the "
@@ -174,6 +184,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize",
         action="store_true",
         help="arm the runtime determinism guard in every seed's run "
+        "(worker processes included)",
+    )
+    sweep.add_argument(
+        "--isolation-check",
+        action="store_true",
+        help="arm the copy-on-send payload checker in every seed's run "
         "(worker processes included)",
     )
 
@@ -291,10 +307,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="static determinism-hazard scan (AST pass over the source)",
-        description="Walk the source tree and flag determinism hazards: "
+        help="static determinism & isolation hazard scan (AST pass)",
+        description="Walk the source tree and flag determinism hazards — "
         "ambient randomness (D1xx), wall-clock reads (D2xx), hash/"
-        "filesystem order dependence (D3xx) and __all__ drift (D4xx). "
+        "filesystem order dependence (D3xx), __all__ drift (D4xx) — and "
+        "isolation hazards: cross-node reach-through (I1xx), payload "
+        "aliasing (I2xx), mutation-after-forward (I3xx), callback "
+        "capture (I4xx). "
         "Inline comments of the form `repro-lint: ignore[D301] reason` "
         "(after a `#`) and the "
         "committed .repro-lint.toml policy govern exemptions. Exits "
@@ -318,6 +337,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="text",
         help="report format (json is canonical: sorted keys, stable "
         "ordering — byte-identical across runs of the same tree)",
+    )
+    lint.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids/families to scope the run to "
+        "(e.g. I2,D1); unknown selectors exit 2",
+    )
+    lint.add_argument(
+        "--ignore-family",
+        metavar="FAMILY",
+        action="append",
+        default=[],
+        help="drop one rule family (repeatable, e.g. --ignore-family I4)",
     )
     lint.add_argument(
         "--verbose",
@@ -507,7 +539,11 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     if args.action == "run":
         recorder = _build_recorder(spec, args)
         result = run_scenario(
-            spec, seed=args.seed, recorder=recorder, sanitize=args.sanitize
+            spec,
+            seed=args.seed,
+            recorder=recorder,
+            sanitize=args.sanitize,
+            isolation_check=args.isolation_check,
         )
         if args.summary:
             print(result.summary_json())
@@ -534,7 +570,11 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
 
     # sweep
     result = run_sweep(
-        spec, seeds=args.seeds, jobs=args.jobs, sanitize=args.sanitize
+        spec,
+        seeds=args.seeds,
+        jobs=args.jobs,
+        sanitize=args.sanitize,
+        isolation_check=args.isolation_check,
     )
     if args.summary:
         print(result.summary_json())
@@ -911,12 +951,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     )
 
     config = LintConfig.load(args.config)
+    select = (
+        [s.strip() for s in args.select.split(",") if s.strip()]
+        if args.select
+        else None
+    )
+    ignore_families = args.ignore_family or None
     if args.write_baseline:
         # Regenerate against an empty baseline so existing budget entries
         # don't absorb the violations we are trying to record.
         from dataclasses import replace
 
-        result = lint_paths(args.paths, replace(config, baseline=[]))
+        result = lint_paths(
+            args.paths,
+            replace(config, baseline=[]),
+            select=select,
+            ignore_families=ignore_families,
+        )
         baseline = baseline_from_violations(result.violations)
         with open(args.write_baseline, "w", encoding="utf-8") as f:
             f.write(render_policy_toml(config, baseline))
@@ -927,7 +978,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             "justification before committing"
         )
         return 0
-    result = lint_paths(args.paths, config)
+    result = lint_paths(
+        args.paths, config, select=select, ignore_families=ignore_families
+    )
     if args.format == "json":
         print(format_json(result))
     else:
@@ -959,4 +1012,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # A sanitized run tripped a runtime guard: report the offender
         # the same way `repro lint` reports its static counterpart.
         print(f"determinism violation: {exc}")
+        return 3
+    except IsolationError as exc:
+        # An --isolation-check run caught an in-flight payload mutation.
+        print(f"isolation violation: {exc}")
         return 3

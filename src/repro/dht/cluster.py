@@ -145,9 +145,7 @@ class DhtCluster:
         return self.run_op(client.get(key, version), timeout)
 
     def replication_level(self, key: str, version: Optional[int] = None) -> int:
-        return sum(
-            1 for s in self.servers if s.alive and s.store.get(key, version) is not None
-        )
+        return sum(1 for s in self.servers if s.alive and s.holds(key, version))
 
     def server_message_load(self):
         return self.sim.metrics.message_load(population=[s.id for s in self.servers])

@@ -147,6 +147,11 @@ class ChordNode(Node):
     def ref(self) -> RingRef:
         return (self.pos, self.id)
 
+    def holds(self, key: str, version: Optional[int] = None) -> bool:
+        """Whether the local store has the object — the facade's way to
+        count replicas without reaching into another node's store."""
+        return self.store.get(key, version) is not None
+
     @property
     def successor(self) -> RingRef:
         return self.successors[0] if self.successors else self.ref()

@@ -12,6 +12,7 @@ __all__ = [
     "ClientError",
     "ConfigurationError",
     "DeterminismError",
+    "IsolationError",
     "NodeDownError",
     "OperationTimeoutError",
     "ReproError",
@@ -57,6 +58,37 @@ class DeterminismError(SimulationError):
     run calls a module-level :mod:`random` function or ``time.time`` —
     the dynamic counterpart of the ``repro lint`` D1xx/D2xx rules.
     """
+
+
+class IsolationError(SimulationError):
+    """A message payload was mutated while in flight.
+
+    Raised by the runtime payload checker
+    (:func:`repro.lint.isolation.isolation_guard`) when a payload's
+    structural digest at delivery differs from its digest at
+    ``Network.send`` — some code kept a reference to the object after
+    sending it and mutated it, violating the shared-nothing ownership
+    contract (the dynamic counterpart of the ``repro lint`` I-rules).
+    The message names sender, receiver, message type and simulated time.
+    """
+
+    def __init__(
+        self, src: int, dst: int, kind: str, sent_at: float, now: float,
+        detail: str = "",
+    ) -> None:
+        super().__init__(
+            f"message {kind} from node {src} to node {dst} was mutated in "
+            f"flight (sent at t={sent_at:.6f}, detected at t={now:.6f})"
+            + (f": {detail}" if detail else "")
+            + " — payloads are owned by the network once sent; build a "
+            "fresh message instead of retaining and mutating the object "
+            "(repro lint rules I2xx/I3xx)"
+        )
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.sent_at = sent_at
+        self.now = now
 
 
 class StoreError(ReproError):

@@ -13,8 +13,18 @@ replay. This package enforces that contract from two directions:
   (``scenarios run --sanitize``) that makes the same ambient calls raise
   mid-run, catching the code paths static analysis cannot see.
 
-Both halves enforce one contract; DESIGN.md ("Determinism contract &
-static analysis") is the narrative version.
+The same split enforces the *isolation* contract (nodes are
+shared-nothing; payload ownership transfers to the network at send):
+
+* the I-families of ``repro lint`` — cross-node reach-through (I1xx),
+  payload aliasing (I2xx), mutation-after-forward (I3xx) and
+  callback-capture hazards (I4xx);
+* :func:`~repro.lint.isolation.isolation_guard` — the copy-on-send
+  payload checker (``scenarios run --isolation-check``) that digests
+  every payload at ``Network.send`` and re-verifies it at delivery.
+
+All halves enforce two contracts; DESIGN.md ("Determinism contract &
+static analysis", "Isolation contract") is the narrative version.
 """
 
 from repro.lint.baseline import apply_baseline, render_policy_toml
@@ -25,6 +35,7 @@ from repro.lint.config import (
     baseline_from_violations,
 )
 from repro.lint.engine import LintResult, lint_paths, lint_source
+from repro.lint.isolation import isolation_active, isolation_guard, payload_digest
 from repro.lint.report import format_json, format_text
 from repro.lint.rules import CATALOG, FAMILIES, Rule, Violation
 from repro.lint.sanitizer import determinism_guard, guard_active
@@ -44,7 +55,10 @@ __all__ = [
     "format_json",
     "format_text",
     "guard_active",
+    "isolation_active",
+    "isolation_guard",
     "lint_paths",
     "lint_source",
+    "payload_digest",
     "render_policy_toml",
 ]

@@ -64,6 +64,10 @@ def render_policy_toml(config: LintConfig, baseline: Sequence[BaselineEntry]) ->
         "[lint]",
         f"simpath = {_string_array(config.simpath)}",
         f"set_returning = {_string_array(config.set_returning)}",
+        f"node_collections = {_string_array(config.node_collections)}",
+        f"node_returning = {_string_array(config.node_returning)}",
+        f"node_state = {_string_array(config.node_state)}",
+        f"payload_attrs = {_string_array(config.payload_attrs)}",
     ]
     for entry in config.allow:
         lines += [

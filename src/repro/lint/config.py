@@ -62,6 +62,22 @@ DEFAULT_SET_RETURNING: Tuple[str, ...] = (
     "missing_from",
 )
 
+# Attribute names whose iteration or subscript yields *node* objects —
+# the I1xx rules treat anything pulled out of these as another process.
+DEFAULT_NODE_COLLECTIONS: Tuple[str, ...] = ("servers",)
+
+# Helper call names that return node lists (cluster facades expose these
+# so analysis code never touches the raw collection).
+DEFAULT_NODE_RETURNING: Tuple[str, ...] = ("alive_servers",)
+
+# Attribute names that are node-private state: reading them on a node
+# obtained from a collection/directory is a reach-through (I1xx).
+DEFAULT_NODE_STATE: Tuple[str, ...] = ("store", "view", "scheduler")
+
+# Message attribute names that carry the payload proper — aliasing one
+# of these into an outbound send without a copy wrapper is I204.
+DEFAULT_PAYLOAD_ATTRS: Tuple[str, ...] = ("payload", "value")
+
 
 @dataclass(frozen=True)
 class AllowEntry:
@@ -111,6 +127,10 @@ class LintConfig:
 
     simpath: Tuple[str, ...] = DEFAULT_SIMPATH
     set_returning: Tuple[str, ...] = DEFAULT_SET_RETURNING
+    node_collections: Tuple[str, ...] = DEFAULT_NODE_COLLECTIONS
+    node_returning: Tuple[str, ...] = DEFAULT_NODE_RETURNING
+    node_state: Tuple[str, ...] = DEFAULT_NODE_STATE
+    payload_attrs: Tuple[str, ...] = DEFAULT_PAYLOAD_ATTRS
     allow: List[AllowEntry] = field(default_factory=list)
     baseline: List[BaselineEntry] = field(default_factory=list)
     source: Optional[str] = None  # config file path, for reporting
@@ -150,6 +170,12 @@ class LintConfig:
         lint = doc.get("lint", {})
         simpath = tuple(lint.get("simpath", DEFAULT_SIMPATH))
         set_returning = tuple(lint.get("set_returning", DEFAULT_SET_RETURNING))
+        node_collections = tuple(
+            lint.get("node_collections", DEFAULT_NODE_COLLECTIONS)
+        )
+        node_returning = tuple(lint.get("node_returning", DEFAULT_NODE_RETURNING))
+        node_state = tuple(lint.get("node_state", DEFAULT_NODE_STATE))
+        payload_attrs = tuple(lint.get("payload_attrs", DEFAULT_PAYLOAD_ATTRS))
         allow = [
             AllowEntry(
                 rule=_required(entry, "rule", source, "allow"),
@@ -171,11 +197,15 @@ class LintConfig:
             if not is_known_rule(entry.rule):
                 raise ConfigurationError(
                     f"lint config names unknown rule {entry.rule!r} "
-                    f"(expected a Dxxx id or a Dx family prefix)"
+                    f"(expected a Dxxx/Ixxx id or a Dx/Ix family prefix)"
                 )
         return cls(
             simpath=simpath,
             set_returning=set_returning,
+            node_collections=node_collections,
+            node_returning=node_returning,
+            node_state=node_state,
+            payload_attrs=payload_attrs,
             allow=allow,
             baseline=baseline,
             source=source,

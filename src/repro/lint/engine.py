@@ -14,9 +14,10 @@ import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.errors import ConfigurationError
 from repro.lint.baseline import apply_baseline
 from repro.lint.config import BaselineEntry, LintConfig
-from repro.lint.rules import Violation, is_known_rule
+from repro.lint.rules import FAMILIES, Violation, is_known_rule
 from repro.lint.visitors import audit_module
 
 __all__ = ["LintResult", "lint_paths", "lint_source"]
@@ -56,10 +57,20 @@ class LintResult:
 
 
 def lint_paths(
-    paths: Sequence[str], config: Optional[LintConfig] = None
+    paths: Sequence[str],
+    config: Optional[LintConfig] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore_families: Optional[Sequence[str]] = None,
 ) -> LintResult:
-    """Lint every ``*.py`` under ``paths`` (files or directories)."""
+    """Lint every ``*.py`` under ``paths`` (files or directories).
+
+    ``select`` scopes the run to the named rule ids/families;
+    ``ignore_families`` drops whole families. Unknown selectors raise
+    :class:`~repro.errors.ConfigurationError` — a typo'd ``--select``
+    must not pass as a vacuously clean run.
+    """
     config = config if config is not None else LintConfig()
+    keep = _make_filter(select, ignore_families)
     result = LintResult()
     raw: List[Violation] = []
     suppressed: List[Violation] = []
@@ -80,6 +91,8 @@ def lint_paths(
         file_raw, file_errors = _lint_one(source, path, config)
         result.errors.extend(file_errors)
         for violation in file_raw:
+            if keep is not None and not keep(violation):
+                continue
             status = _classify(violation, source, config, raw_list=raw)
             if status == "suppressed":
                 suppressed.append(violation)
@@ -98,6 +111,8 @@ def lint_source(
     source: str,
     path: str = "<string>",
     config: Optional[LintConfig] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore_families: Optional[Sequence[str]] = None,
 ) -> LintResult:
     """Lint one in-memory module — the test-fixture entry point.
 
@@ -106,11 +121,14 @@ def lint_source(
     as a tree walk.
     """
     config = config if config is not None else LintConfig()
+    keep = _make_filter(select, ignore_families)
     result = LintResult(files=[path])
     file_raw, file_errors = _lint_one(source, path, config)
     result.errors.extend(file_errors)
     raw: List[Violation] = []
     for violation in file_raw:
+        if keep is not None and not keep(violation):
+            continue
         status = _classify(violation, source, config, raw_list=raw)
         if status == "suppressed":
             result.suppressed.append(violation)
@@ -124,6 +142,37 @@ def lint_source(
 
 
 # ------------------------------------------------------------------ internals
+
+
+def _make_filter(
+    select: Optional[Sequence[str]],
+    ignore_families: Optional[Sequence[str]],
+):
+    """Build a violation predicate from ``--select``/``--ignore-family``
+    values, validating every selector up front."""
+    if not select and not ignore_families:
+        return None
+    chosen = tuple(select or ())
+    for selector in chosen:
+        if not is_known_rule(selector):
+            raise ConfigurationError(
+                f"unknown rule selector {selector!r} (expected a rule id "
+                f"like D301/I203 or a family prefix like D3/I2)"
+            )
+    ignored = tuple(ignore_families or ())
+    for family in ignored:
+        if family not in FAMILIES:
+            known = ", ".join(sorted(FAMILIES))
+            raise ConfigurationError(
+                f"unknown rule family {family!r} (known families: {known})"
+            )
+
+    def keep(violation: Violation) -> bool:
+        if chosen and not any(violation.rule.startswith(s) for s in chosen):
+            return False
+        return violation.rule[:2] not in ignored
+
+    return keep
 
 
 def _lint_one(

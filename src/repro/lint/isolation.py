@@ -1,0 +1,218 @@
+"""The runtime half of the isolation contract.
+
+The static I-rules prove no *source line* retains-and-mutates a sent
+payload or reaches through a node boundary; :func:`isolation_guard`
+proves no *code path* does at run time. While the guard is armed, every
+payload accepted by :meth:`~repro.sim.network.Network.send` is
+fingerprinted with a deterministic structural digest, and the digest is
+re-verified the moment the message is delivered (or dropped on a dead
+destination). Any difference means some code kept a reference to the
+object after sending it and mutated it while it was in flight —
+:class:`~repro.errors.IsolationError` is raised naming sender, receiver,
+message type, and both simulated times.
+
+Design constraints, in order:
+
+* **Trajectory-neutral.** The digest is pure SHA-256 over the payload's
+  structure — no ``hash()`` (salted per process), no wall clock, no RNG
+  — and the wrapped methods add no events and change no return values,
+  so a checked run byte-compares against a plain run. The determinism
+  CI matrix enforces exactly that.
+* **Fan-out aware.** Protocols legitimately send *one* immutable message
+  object to several peers (replication re-home, advert fan-out). The
+  in-flight registry refcounts by object identity: each send of the same
+  unmutated object bumps the count, each delivery drops it, and the
+  entry keeps a reference to the object so CPython cannot reuse its id
+  while copies are still in flight. Re-sending an object whose content
+  changed while copies are in flight trips the same wire.
+* **Re-entrant.** Nested activations patch once and restore once,
+  mirroring :func:`~repro.lint.sanitizer.determinism_guard`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Set
+
+from repro.errors import IsolationError
+
+__all__ = ["isolation_active", "isolation_guard", "payload_digest"]
+
+_depth = 0
+_saved: Dict[str, Any] = {}
+# id(msg) -> [msg, digest, refcount, src, dst, kind, sent_at]
+_inflight: Dict[int, list] = {}
+
+
+def isolation_active() -> bool:
+    """Is an :func:`isolation_guard` currently armed?"""
+    return _depth > 0
+
+
+# ------------------------------------------------------------------ digest
+
+
+def payload_digest(obj: Any) -> str:
+    """Deterministic structural SHA-256 of an arbitrary payload.
+
+    Equal-by-structure objects digest equally across processes and runs:
+    sequences feed elements in order, sets and dicts feed elements by
+    their *own* sub-digests in sorted order (no reliance on element
+    comparability or hash order), dataclasses feed fields in declaration
+    order, and plain objects feed ``__dict__`` in sorted key order.
+    Cycles are cut by identity, opaque leaves fall back to the type name.
+    """
+    hasher = hashlib.sha256()
+    _feed(hasher, obj, set())
+    return hasher.hexdigest()
+
+
+def _sub_digest(obj: Any, stack: Set[int]) -> bytes:
+    hasher = hashlib.sha256()
+    _feed(hasher, obj, stack)
+    return hasher.digest()
+
+
+def _feed(hasher, obj: Any, stack: Set[int]) -> None:
+    if obj is None or obj is True or obj is False:
+        hasher.update(repr(obj).encode("ascii"))
+        return
+    if isinstance(obj, (int, float, complex)):
+        hasher.update(b"n")
+        hasher.update(repr(obj).encode("ascii"))
+        hasher.update(b"\x00")
+        return
+    if isinstance(obj, str):
+        hasher.update(b"s")
+        hasher.update(obj.encode("utf-8", "surrogatepass"))
+        hasher.update(b"\x00")
+        return
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        hasher.update(b"b")
+        hasher.update(bytes(obj))
+        hasher.update(b"\x00")
+        return
+    oid = id(obj)
+    if oid in stack:
+        hasher.update(b"cycle")
+        return
+    stack.add(oid)
+    try:
+        if isinstance(obj, (list, tuple)):
+            hasher.update(b"l" if isinstance(obj, list) else b"t")
+            for item in obj:
+                _feed(hasher, item, stack)
+            hasher.update(b"\x00")
+        elif isinstance(obj, (set, frozenset)):
+            hasher.update(b"S")
+            for encoded in sorted(_sub_digest(item, stack) for item in obj):
+                hasher.update(encoded)
+            hasher.update(b"\x00")
+        elif isinstance(obj, dict):
+            hasher.update(b"d")
+            entries = [
+                _sub_digest(key, stack) + _sub_digest(value, stack)
+                for key, value in obj.items()
+            ]
+            for encoded in sorted(entries):
+                hasher.update(encoded)
+            hasher.update(b"\x00")
+        elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            hasher.update(b"D")
+            hasher.update(type(obj).__name__.encode("utf-8"))
+            hasher.update(b"\x00")
+            for field in dataclasses.fields(obj):
+                _feed(hasher, getattr(obj, field.name), stack)
+            hasher.update(b"\x00")
+        elif hasattr(obj, "__dict__"):
+            hasher.update(b"o")
+            hasher.update(type(obj).__name__.encode("utf-8"))
+            hasher.update(b"\x00")
+            attrs = vars(obj)
+            for key in sorted(attrs):
+                hasher.update(key.encode("utf-8"))
+                hasher.update(b"\x00")
+                _feed(hasher, attrs[key], stack)
+            hasher.update(b"\x00")
+        else:
+            # Opaque leaf (a __slots__ object, a function …): the type
+            # name is all the structure we can see.
+            hasher.update(b"x")
+            hasher.update(type(obj).__name__.encode("utf-8"))
+            hasher.update(b"\x00")
+    finally:
+        stack.discard(oid)
+
+
+# ------------------------------------------------------------------- guard
+
+
+def _checked_send(self, src: int, dst: int, msg: Any) -> bool:
+    """``Network.send`` with the in-flight registry armed."""
+    on_wire = _saved["send"](self, src, dst, msg)
+    if on_wire:
+        digest = payload_digest(msg)
+        entry = _inflight.get(id(msg))
+        if entry is None:
+            _inflight[id(msg)] = [
+                msg, digest, 1, src, dst, type(msg).__name__,
+                self.scheduler.now,
+            ]
+        elif entry[1] != digest:
+            # The object is being re-sent, but copies already in flight
+            # were fingerprinted with different content — the sender
+            # mutated it between sends.
+            raise IsolationError(
+                entry[3], entry[4], entry[5], entry[6], self.scheduler.now,
+                detail="object re-sent with different content while "
+                "earlier copies are still in flight",
+            )
+        else:
+            entry[2] += 1
+    return on_wire
+
+
+def _checked_deliver(self, src: int, dst: int, msg: Any, received_kind) -> None:
+    """``Network._deliver`` with the digest re-verified on arrival."""
+    entry = _inflight.get(id(msg))
+    if entry is not None and entry[0] is msg:
+        if payload_digest(msg) != entry[1]:
+            raise IsolationError(
+                src, dst, type(msg).__name__, entry[6], self.scheduler.now
+            )
+        entry[2] -= 1
+        if entry[2] == 0:
+            del _inflight[id(msg)]
+    _saved["_deliver"](self, src, dst, msg, received_kind)
+
+
+@contextmanager
+def isolation_guard() -> Iterator[None]:
+    """Arm the copy-on-send payload checker for the duration of the block.
+
+    Patches :class:`~repro.sim.network.Network` at the *class* level:
+    ``send`` looks its delivery callback up on ``self`` at send time, so
+    every delivery scheduled while the guard is armed resolves to the
+    checked method (traced deliveries delegate to ``_deliver`` and are
+    covered too).
+    """
+    global _depth
+    from repro.sim.network import Network  # deferred: keep lint import light
+
+    if _depth == 0:
+        _saved["send"] = Network.send
+        _saved["_deliver"] = Network._deliver
+        Network.send = _checked_send
+        Network._deliver = _checked_deliver
+    _depth += 1
+    try:
+        yield
+    finally:
+        _depth -= 1
+        if _depth == 0:
+            Network.send = _saved["send"]
+            Network._deliver = _saved["_deliver"]
+            _saved.clear()
+            _inflight.clear()

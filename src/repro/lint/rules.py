@@ -28,6 +28,31 @@ Rule families:
 * **D4xx — export hygiene.** ``__all__`` entries that don't resolve,
   duplicates, modules missing ``__all__`` — the class of API drift PR 5
   fixed by hand for the slicing package.
+
+The I-families police the *isolation* contract (DESIGN.md, "Isolation
+contract"): simulated nodes are shared-nothing and may interact only
+through :class:`~repro.sim.network.Network` messages. Ownership of a
+payload transfers to the network at ``send``; the receiver owns what it
+is handed and the sender must not retain-and-mutate.
+
+* **I1xx — cross-node reach-through.** Attribute access into another
+  node's private state (``.store`` / ``.view`` / ``.scheduler``) on a
+  node object obtained from a directory, a server collection, or a
+  helper — protocol state may only cross node boundaries inside a
+  message payload.
+* **I2xx — payload aliasing.** A mutable local sent and then mutated, a
+  mutable default payload, re-sending a received message object, or
+  aliasing a received payload into an outbound message.
+* **I3xx — mutation after forward.** A handler that mutates the message
+  it received — worst after forwarding it, when the mutation races the
+  in-flight copies.
+* **I4xx — callback capture.** Scheduler callbacks (``after`` /
+  ``every`` / ``schedule``) closing over a loop variable (late binding)
+  or over a mutable local that keeps changing after scheduling.
+
+The runtime counterpart is :func:`repro.lint.isolation.isolation_guard`
+(``scenarios run --isolation-check``), which digests every payload at
+send and re-verifies it at delivery.
 """
 
 from __future__ import annotations
@@ -89,6 +114,10 @@ FAMILIES: Dict[str, str] = {
     "D2": "wall-clock reads",
     "D3": "order hazards",
     "D4": "export hygiene",
+    "I1": "cross-node reach-through",
+    "I2": "payload aliasing",
+    "I3": "mutation after forward",
+    "I4": "callback capture",
 }
 
 _RULES = (
@@ -183,11 +212,79 @@ _RULES = (
         "module missing __all__",
         "declare the public surface; star-imports and doc tooling rely on it",
     ),
+    Rule(
+        "I101",
+        "cross-node state reach-through",
+        "a node obtained from a directory or server collection is another "
+        "process; read its state via a message round-trip or a facade "
+        "method (e.g. node.holds(key, version)), never its attributes",
+    ),
+    Rule(
+        "I102",
+        "cross-node reach-through via collection",
+        "indexing straight into a server collection's private state "
+        "(self.servers[i].store) crosses the node boundary; add a facade "
+        "method on the node and call that",
+    ),
+    Rule(
+        "I201",
+        "mutable payload mutated after send",
+        "the network owns a payload once sent; snapshot it at send time "
+        "(tuple(batch)) or build a fresh object for the next send",
+    ),
+    Rule(
+        "I202",
+        "mutable default payload",
+        "a mutable default ([] / {} / set()) is shared across every call "
+        "and every message it rides in; default to None and allocate "
+        "per call",
+    ),
+    Rule(
+        "I203",
+        "received message re-sent without copy",
+        "the received object may be aliased by the sender or other "
+        "receivers; rebuild the message (dataclasses.replace or the "
+        "constructor) before forwarding",
+    ),
+    Rule(
+        "I204",
+        "received payload aliased into outbound message",
+        "wrap the received payload in a snapshot (tuple(msg.payload)) or "
+        "rebuild it before re-sending; aliasing couples the two messages' "
+        "fates",
+    ),
+    Rule(
+        "I301",
+        "received message mutated after forward",
+        "the forwarded copy is in flight; mutating the shared object "
+        "races delivery — rebuild the message instead of editing it",
+    ),
+    Rule(
+        "I302",
+        "received message mutated in handler",
+        "handlers borrow the message they are handed (copy-on-receive "
+        "rule); derive new state instead of editing the payload in place",
+    ),
+    Rule(
+        "I401",
+        "scheduler callback captures loop variable",
+        "lambdas bind names late: every callback sees the loop's final "
+        "value; rebind as a default (lambda peer=peer: ...) or pass it "
+        "as a callback argument",
+    ),
+    Rule(
+        "I402",
+        "scheduler callback captures mutated local",
+        "the callback runs later and sees the local's latest value, not "
+        "the value at scheduling time; snapshot it as a lambda default "
+        "or pass it as an argument",
+    ),
 )
 
 CATALOG: Dict[str, Rule] = {rule.id: rule for rule in _RULES}
 
 
 def is_known_rule(rule_id: str) -> bool:
-    """True for exact ids (``D301``) and family prefixes (``D3``)."""
+    """True for exact ids (``D301``, ``I203``) and family prefixes
+    (``D3``, ``I2``)."""
     return rule_id in CATALOG or rule_id in FAMILIES

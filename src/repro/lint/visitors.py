@@ -19,6 +19,17 @@ inside ``sorted()``, fed into another ``set()``/``frozenset()``, or
 reduced by ``len``/``min``/``max``/``sum``/``any``/``all`` cannot leak
 hash order into the trajectory, so ``sorted(self.store.digest())``
 lints clean while ``list(self.store.digest())`` does not.
+
+The I-families use the same shallow machinery for the *isolation*
+contract. Two extra judgements back them: per-scope tracking of
+node-valued names (anything pulled out of a configured node collection
+like ``self.servers`` or returned by a ``node_returning`` helper) for
+the I1xx reach-through rules, and a second, per-function pass that
+reconciles ``send(...)`` call sites against later mutations of the same
+local (I2xx/I3xx) and scheduler-callback lambdas against the names they
+capture (I4xx). Copy wrappers (``tuple(batch)``, ``sorted(...)``,
+``frozenset(...)`` …) snapshot their argument at send time, so payloads
+routed through one are exempt by construction.
 """
 
 from __future__ import annotations
@@ -78,6 +89,28 @@ _SET_METHODS = frozenset(
     {"difference", "intersection", "symmetric_difference", "union"}
 )
 
+# I2xx/I3xx: methods that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "add", "append", "clear", "discard", "extend", "insert", "pop",
+        "popitem", "remove", "reverse", "setdefault", "sort", "update",
+    }
+)
+
+# Calls that snapshot their argument — a payload routed through one of
+# these is decoupled from the local at send time.
+_COPY_CALLS = frozenset(
+    {"bytes", "dict", "frozenset", "list", "set", "sorted", "str", "tuple"}
+)
+
+# I4xx: methods that defer a callback to a later simulated time.
+_SCHEDULING_CALLS = frozenset({"after", "every", "schedule"})
+
+# Literal displays/comprehensions that allocate a mutable container.
+_MUTABLE_DISPLAYS = (
+    ast.Dict, ast.DictComp, ast.List, ast.ListComp, ast.Set, ast.SetComp,
+)
+
 
 def audit_module(
     tree: ast.Module, path: str, config: LintConfig, module_name: str
@@ -95,6 +128,10 @@ class _Auditor:
         self.module_name = module_name
         self.simpath = config.is_simpath(path)
         self.set_returning = frozenset(config.set_returning)
+        self.node_collections = frozenset(config.node_collections)
+        self.node_returning = frozenset(config.node_returning)
+        self.node_state = frozenset(config.node_state)
+        self.payload_attrs = frozenset(config.payload_attrs)
         self.violations: List[Violation] = []
         # import-alias tables: local name -> canonical module name
         self.module_aliases: Dict[str, str] = {}
@@ -103,6 +140,8 @@ class _Auditor:
         self.has_star_import = False
         # stack of per-scope {name: is_set_valued}
         self.scopes: List[Dict[str, bool]] = [{}]
+        # stack of per-scope {name: "node" | "collection"} for I1xx
+        self.iso_scopes: List[Dict[str, str]] = [{}]
         # >0 while inside an order-neutral consumer's arguments
         self.neutral = 0
 
@@ -342,16 +381,24 @@ class _Auditor:
             if self._is_set_annotation(arg.annotation):
                 scope[arg.arg] = True
         self.scopes.append(scope)
+        self.iso_scopes.append({})
+        self._audit_isolation_function(node)
         for child in ast.iter_child_nodes(node):
             self._walk(child)
         self.scopes.pop()
+        self.iso_scopes.pop()
 
     def _on_Assign(self, node: ast.Assign) -> None:
         self._walk(node.value)
         is_set = self._set_valued(node.value)
+        kind = self._node_kind(node.value)
         for target in node.targets:
             if isinstance(target, ast.Name):
                 self.scopes[-1][target.id] = is_set
+                if kind is not None:
+                    self.iso_scopes[-1][target.id] = kind
+                else:
+                    self.iso_scopes[-1].pop(target.id, None)
             else:
                 self._walk(target)
 
@@ -366,6 +413,24 @@ class _Auditor:
     # expressions ------------------------------------------------------
 
     def _on_Attribute(self, node: ast.Attribute) -> None:
+        # I1xx: node-private state read on a node that came out of a
+        # directory/collection — another process, in sim terms.
+        if self.simpath and node.attr in self.node_state:
+            base = node.value
+            if isinstance(base, ast.Subscript) and self._node_kind(base) == "node":
+                self.flag(
+                    "I102",
+                    node,
+                    f"{self._describe(node)} indexes into another node's "
+                    f"{node.attr!r}; add a facade method on the node",
+                )
+            elif isinstance(base, ast.Name) and self._node_kind(base) == "node":
+                self.flag(
+                    "I101",
+                    node,
+                    f"{self._describe(node)} reaches across the node boundary "
+                    f"into {node.attr!r}; state may only cross in a message",
+                )
         module = self._module_of(node.value)
         if module == "random":
             if node.attr in _AMBIENT_RANDOM:
@@ -519,6 +584,9 @@ class _Auditor:
                 f"iterating {self._describe(node.iter)} visits elements in "
                 "hash order",
             )
+        if self.simpath and self._node_kind(node.iter) == "collection":
+            for name in _names_in_target(node.target):
+                self.iso_scopes[-1][name] = "node"
         self._generic(node)
 
     def _on_comprehension_holder(self, node) -> None:
@@ -537,6 +605,7 @@ class _Auditor:
                         f"comprehension over {self._describe(comp.iter)} runs in "
                         "hash order",
                     )
+        self._bind_node_targets(node.generators)
         self._generic(node)
 
     def _on_ListComp(self, node: ast.ListComp) -> None:
@@ -550,9 +619,324 @@ class _Auditor:
 
     def _on_SetComp(self, node: ast.SetComp) -> None:
         # Building a set from a set is order-neutral all the way down.
+        self._bind_node_targets(node.generators)
         self.neutral += 1
         self._generic(node)
         self.neutral -= 1
+
+    # ------------------------------------------- I1xx: node-valued names
+
+    def _bind_node_targets(self, generators) -> None:
+        """Comprehension targets over a node collection are node-valued
+        (the dht replication-level genexp is exactly this shape)."""
+        if not self.simpath:
+            return
+        for comp in generators:
+            if self._node_kind(comp.iter) == "collection":
+                for name in _names_in_target(comp.target):
+                    self.iso_scopes[-1][name] = "node"
+
+    def _node_kind(self, expr: ast.expr) -> Optional[str]:
+        """Syntactic judgement: ``"collection"`` for a node collection,
+        ``"node"`` for one node pulled out of it, ``None`` otherwise."""
+        if isinstance(expr, ast.Attribute):
+            return "collection" if expr.attr in self.node_collections else None
+        if isinstance(expr, ast.Name):
+            for scope in reversed(self.iso_scopes):
+                if expr.id in scope:
+                    return scope[expr.id]
+            return None
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            fname = None
+            if isinstance(func, ast.Name):
+                fname = func.id
+            elif isinstance(func, ast.Attribute):
+                fname = func.attr
+            if fname in self.node_returning:
+                return "collection"
+            # list(self.servers) / sorted(..., key=...) keep node identity.
+            if (
+                fname in {"list", "sorted", "tuple"}
+                and expr.args
+                and self._node_kind(expr.args[0]) == "collection"
+            ):
+                return "collection"
+            return None
+        if isinstance(expr, ast.Subscript):
+            if self._node_kind(expr.value) == "collection":
+                return "node"
+            return None
+        if isinstance(expr, (ast.ListComp, ast.GeneratorExp)):
+            # [s for s in self.servers if s.alive] is still a node
+            # collection — filtered, but element-for-element the same.
+            if (
+                len(expr.generators) == 1
+                and isinstance(expr.elt, ast.Name)
+                and isinstance(expr.generators[0].target, ast.Name)
+                and expr.elt.id == expr.generators[0].target.id
+                and self._node_kind(expr.generators[0].iter) == "collection"
+            ):
+                return "collection"
+            return None
+        return None
+
+    # --------------------------- I2xx/I3xx/I4xx: per-function analysis
+
+    def _audit_isolation_function(self, node) -> None:
+        """Second pass over one function body: reconcile sends against
+        later mutations, handlers against what they do to ``msg``, and
+        scheduler lambdas against the names they capture."""
+        if not self.simpath:
+            return
+        # I202: a mutable default is one object shared by every call —
+        # and by every message it is ever sent inside.
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if isinstance(default, (ast.Dict, ast.List, ast.Set)):
+                self.flag(
+                    "I202",
+                    default,
+                    f"mutable default {self._describe(default)} is shared "
+                    "across calls; default to None and allocate per call",
+                )
+        params = [
+            arg.arg
+            for arg in list(node.args.posonlyargs) + list(node.args.args)
+            if arg.arg not in {"self", "cls"}
+        ]
+        handler = params[0] if params and params[0] == "msg" else None
+        info = _FunctionIsolation(handler)
+        for child in node.body:
+            self._iso_scan(child, info, [])
+        self._iso_reconcile(info)
+
+    def _iso_scan(self, node: ast.AST, info: "_FunctionIsolation",
+                  loop: List[Set[str]]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs run their own per-function pass
+        if isinstance(node, ast.Assign):
+            self._iso_scan(node.value, info, loop)
+            if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+                name = node.targets[0].id
+                if isinstance(node.value, _MUTABLE_DISPLAYS) or (
+                    isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Name)
+                    and node.value.func.id in {"dict", "list", "set"}
+                ):
+                    info.mutable.setdefault(name, node.lineno)
+                else:
+                    info.mutable.pop(name, None)  # rebound to something else
+                return
+            for target in node.targets:
+                self._iso_mutation_target(target, info)
+            return
+        if isinstance(node, ast.AugAssign):
+            self._iso_mutation_target(node.target, info, rebind_ok=False)
+            self._iso_scan(node.value, info, loop)
+            return
+        if isinstance(node, ast.For):
+            self._iso_scan(node.iter, info, loop)
+            names = _names_in_target(node.target)
+            inner = loop + [names]
+            for child in node.body:
+                self._iso_scan(child, info, inner)
+            for child in node.orelse:
+                self._iso_scan(child, info, loop)
+            return
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr == "send":
+                    self._iso_send(node, info)
+                elif func.attr in _SCHEDULING_CALLS:
+                    self._iso_schedule(node, info, loop)
+                elif func.attr in _MUTATING_METHODS:
+                    root = _root_name(func.value)
+                    if root is not None:
+                        info.mutations.setdefault(root, []).append(node)
+            for child in ast.iter_child_nodes(node):
+                self._iso_scan(child, info, loop)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._iso_scan(child, info, loop)
+
+    def _iso_mutation_target(
+        self, target: ast.expr, info: "_FunctionIsolation",
+        rebind_ok: bool = True,
+    ) -> None:
+        """An assignment *into* an object (subscript/attribute target, or
+        augmented assign) mutates the root name; a plain name target only
+        rebinds it."""
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            root = _root_name(target)
+            if root is not None:
+                info.mutations.setdefault(root, []).append(target)
+        elif isinstance(target, ast.Name) and not rebind_ok:
+            info.mutations.setdefault(target.id, []).append(target)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._iso_mutation_target(element, info, rebind_ok)
+
+    def _iso_send(self, node: ast.Call, info: "_FunctionIsolation") -> None:
+        names: Set[str] = set()
+        refs_msg = False
+        payload = list(node.args) + [kw.value for kw in node.keywords]
+        for arg in payload:
+            if (
+                info.handler is not None
+                and isinstance(arg, ast.Name)
+                and arg.id == info.handler
+            ):
+                self.flag(
+                    "I203",
+                    node,
+                    f"re-sends the received message object {arg.id!r}; "
+                    "rebuild it before forwarding",
+                )
+                refs_msg = True
+                continue
+            if self._iso_payload_names(arg, info, names):
+                refs_msg = True
+        info.sends.append((node.lineno, names))
+        if refs_msg:
+            info.forwards.append(node.lineno)
+
+    def _iso_payload_names(
+        self, expr: ast.AST, info: "_FunctionIsolation", names: Set[str]
+    ) -> bool:
+        """Collect local names a payload expression aliases, skipping
+        copy-wrapped subtrees; flag I204 inline; return True if the
+        subtree references the handler's message."""
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) and (
+            expr.func.id in _COPY_CALLS
+        ):
+            return False  # snapshot at send time — decoupled
+        refs_msg = False
+        if isinstance(expr, ast.Name):
+            names.add(expr.id)
+            return expr.id == info.handler
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == info.handler
+        ):
+            if expr.attr in self.payload_attrs:
+                self.flag(
+                    "I204",
+                    expr,
+                    f"{self._describe(expr)} aliases the received payload "
+                    "into an outbound message; snapshot or rebuild it",
+                )
+            return True
+        for child in ast.iter_child_nodes(expr):
+            if self._iso_payload_names(child, info, names):
+                refs_msg = True
+        return refs_msg
+
+    def _iso_schedule(
+        self, node: ast.Call, info: "_FunctionIsolation", loop: List[Set[str]]
+    ) -> None:
+        for arg in node.args:
+            if not isinstance(arg, ast.Lambda):
+                continue
+            params = {
+                a.arg
+                for a in list(arg.args.posonlyargs)
+                + list(arg.args.args)
+                + list(arg.args.kwonlyargs)
+            }
+            captured = {
+                n.id
+                for n in ast.walk(arg.body)
+                if isinstance(n, ast.Name) and n.id not in params
+            }
+            late = captured & set().union(*loop) if loop else set()
+            if late:
+                name = sorted(late)[0]
+                self.flag(
+                    "I401",
+                    arg,
+                    f"callback captures loop variable {name!r}; every firing "
+                    f"sees the final value — rebind it as a default "
+                    f"(lambda {name}={name}: ...)",
+                )
+            info.scheduled.append((node.lineno, arg, captured))
+
+    def _iso_reconcile(self, info: "_FunctionIsolation") -> None:
+        # I201: a mutable local referenced by a send and mutated later.
+        flagged: Set[int] = set()
+        for send_line, names in info.sends:
+            for name in sorted(names & set(info.mutable)):
+                for mutation in info.mutations.get(name, ()):  # in scan order
+                    if mutation.lineno > send_line and id(mutation) not in flagged:
+                        flagged.add(id(mutation))
+                        self.flag(
+                            "I201",
+                            mutation,
+                            f"{name!r} was sent at line {send_line} and is "
+                            "mutated here; the network owns it once sent",
+                        )
+                        break
+        # I301/I302: the handler mutated the message it was handed.
+        if info.handler is not None:
+            for mutation in info.mutations.get(info.handler, ()):
+                if any(line < mutation.lineno for line in info.forwards):
+                    self.flag(
+                        "I301",
+                        mutation,
+                        f"mutates {info.handler!r} after forwarding it; the "
+                        "in-flight copy races this write",
+                    )
+                else:
+                    self.flag(
+                        "I302",
+                        mutation,
+                        f"mutates the received message {info.handler!r}; "
+                        "handlers borrow what they are handed "
+                        "(copy-on-receive)",
+                    )
+        # I402: a scheduled lambda captured a mutable local that kept
+        # changing after the scheduling call.
+        for sched_line, lam, captured in info.scheduled:
+            for name in sorted(captured & set(info.mutable)):
+                if any(
+                    m.lineno > sched_line for m in info.mutations.get(name, ())
+                ):
+                    self.flag(
+                        "I402",
+                        lam,
+                        f"callback captures {name!r}, which is mutated after "
+                        "scheduling; it will see the mutated value when it "
+                        "fires",
+                    )
+                    break
+
+
+class _FunctionIsolation:
+    """Scratch state for one function's I2xx/I3xx/I4xx pass."""
+
+    def __init__(self, handler: Optional[str]) -> None:
+        self.handler = handler
+        # local name -> lineno of the mutable-display assignment
+        self.mutable: Dict[str, int] = {}
+        # root name -> mutation nodes, in scan order
+        self.mutations: Dict[str, List[ast.AST]] = {}
+        # (lineno, local names referenced by the payload)
+        self.sends: List[tuple] = []
+        # send linenos whose payload references the handler's message
+        self.forwards: List[int] = []
+        # (lineno, lambda node, captured names)
+        self.scheduled: List[tuple] = []
+
+
+def _root_name(expr: ast.expr) -> Optional[str]:
+    """The base Name under a Subscript/Attribute chain, if any."""
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    return expr.id if isinstance(expr, ast.Name) else None
 
 
 def _names_in_target(target: ast.expr) -> Set[str]:

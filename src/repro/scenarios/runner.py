@@ -118,6 +118,7 @@ def run_scenario(
     seed: Optional[int] = None,
     recorder=None,
     sanitize: bool = False,
+    isolation_check: bool = False,
 ) -> ScenarioResult:
     """Execute ``spec`` once; ``seed`` overrides the spec's default.
 
@@ -139,16 +140,34 @@ def run_scenario(
     unsanitized one, which the determinism CI matrix proves by
     byte-comparing both.
 
+    ``isolation_check`` arms
+    :func:`repro.lint.isolation.isolation_guard` the same way: every
+    payload is fingerprinted at ``Network.send`` and re-verified at
+    delivery, and any in-flight mutation raises
+    :class:`~repro.errors.IsolationError` naming sender, receiver,
+    message type and sim time. The digest is pure SHA-256 — no clock, no
+    RNG — so a checked run is byte-identical to a plain one (the
+    determinism CI matrix byte-compares them).
+
     Runs under :func:`~repro.sim.simulator.relaxed_gc`: simulation
     garbage is acyclic, and default cyclic-GC thresholds cost up to ~3x
     wall-clock at 1,000+ nodes for nothing. GC settings do not affect
     the trajectory, so summaries stay byte-identical either way.
     """
     seed = spec.seed if seed is None else seed
-    if sanitize:
-        from repro.lint.sanitizer import determinism_guard
+    if sanitize or isolation_check:
+        from contextlib import ExitStack
 
-        with determinism_guard(), relaxed_gc():
+        with ExitStack() as guards:
+            if sanitize:
+                from repro.lint.sanitizer import determinism_guard
+
+                guards.enter_context(determinism_guard())
+            if isolation_check:
+                from repro.lint.isolation import isolation_guard
+
+                guards.enter_context(isolation_guard())
+            guards.enter_context(relaxed_gc())
             return _run_scenario_inner(spec, seed, recorder)
     with relaxed_gc():
         return _run_scenario_inner(spec, seed, recorder)
@@ -244,10 +263,14 @@ def _run_scenario_inner(spec: ScenarioSpec, seed: int, recorder=None) -> Scenari
     return ScenarioResult(spec.name, seed, dict(sorted(metrics.items())))
 
 
-def _run_scenario_job(args: Tuple[ScenarioSpec, int, bool]) -> ScenarioResult:
+def _run_scenario_job(
+    args: Tuple[ScenarioSpec, int, bool, bool]
+) -> ScenarioResult:
     """Module-level shim so worker processes can unpickle the call."""
-    spec, seed, sanitize = args
-    return run_scenario(spec, seed, sanitize=sanitize)
+    spec, seed, sanitize, isolation_check = args
+    return run_scenario(
+        spec, seed, sanitize=sanitize, isolation_check=isolation_check
+    )
 
 
 def run_sweep(
@@ -255,6 +278,7 @@ def run_sweep(
     seeds: Sequence[int],
     jobs: int = 1,
     sanitize: bool = False,
+    isolation_check: bool = False,
 ) -> SweepResult:
     """Run ``spec`` once per seed and aggregate the metrics.
 
@@ -263,8 +287,9 @@ def run_sweep(
     deterministic simulation and results are collected in seed order, so
     the returned :class:`SweepResult` — including
     :meth:`SweepResult.summary_json` — is byte-identical whatever the
-    job count. ``sanitize`` arms the runtime determinism guard for every
-    seed's run (see :func:`run_scenario`) — in worker processes too.
+    job count. ``sanitize`` arms the runtime determinism guard and
+    ``isolation_check`` the payload isolation guard for every seed's run
+    (see :func:`run_scenario`) — in worker processes too.
 
     Caveat for custom backends: workers import only :mod:`repro`
     modules, so a backend registered at runtime (``@register_backend``
@@ -281,10 +306,18 @@ def run_sweep(
             # pool.map preserves input order: results arrive seed-ordered
             # no matter which worker finishes first.
             results = list(
-                pool.map(_run_scenario_job, [(spec, s, sanitize) for s in seeds])
+                pool.map(
+                    _run_scenario_job,
+                    [(spec, s, sanitize, isolation_check) for s in seeds],
+                )
             )
     else:
-        results = [run_scenario(spec, seed, sanitize=sanitize) for seed in seeds]
+        results = [
+            run_scenario(
+                spec, seed, sanitize=sanitize, isolation_check=isolation_check
+            )
+            for seed in seeds
+        ]
     return SweepResult(
         scenario=spec.name,
         seeds=seeds,

@@ -415,6 +415,15 @@ class Network:
         lost or find the destination dead on arrival); ``False`` if it was
         dropped immediately (self-send of network messages is allowed and
         delivered with normal latency).
+
+        Ownership contract: once ``send`` accepts a message, the payload
+        belongs to the network until delivery — the sender must not
+        mutate it (messages are frozen dataclasses by convention, and
+        payload fields should be snapshotted tuples). The ``repro lint``
+        I-rules check this statically and
+        :func:`repro.lint.isolation.isolation_guard`
+        (``scenarios run --isolation-check``) enforces it at run time by
+        digesting the payload here and re-verifying it at delivery.
         """
         entry = self._type_cache.get(type(msg))
         if entry is None:

@@ -1,6 +1,10 @@
 """The determinism linter: rule fixtures, suppressions, allowlist,
 baseline round-trips, the JSON report, and the tree-level contract that
-``repro lint src`` is clean against the committed policy."""
+``repro lint src`` is clean against the committed policy.
+
+The isolation families (I1xx–I4xx) are covered here too: per-rule
+positive/negative fixtures, the ``--select``/``--ignore-family``
+filters, and mixed-report exit codes with I-rules present."""
 
 from __future__ import annotations
 
@@ -239,6 +243,342 @@ class TestExportHygiene:
     def test_complete_all_is_clean(self):
         source = '__all__ = ["api"]\n\ndef api():\n    pass\n'
         assert rules_of(lint(source)) == []
+
+
+# ------------------------------------------- I1xx: cross-node reach-through
+
+
+class TestReachThrough:
+    def test_loop_over_servers_reaching_into_store(self):
+        source = (
+            "def replication(self, key):\n"
+            "    for s in self.servers:\n"
+            "        if s.store.get(key):\n"
+            "            pass\n"
+        )
+        assert "I101" in rules_of(lint(source))
+
+    def test_genexp_over_servers_reaching_into_store(self):
+        # The shape the dht facade used to have before ChordNode.holds().
+        source = (
+            "def level(self, key):\n"
+            "    return sum(1 for s in self.servers if s.store.get(key))\n"
+        )
+        assert "I101" in rules_of(lint(source))
+
+    def test_facade_method_is_clean(self):
+        source = (
+            "def _level(self, key):\n"
+            "    return sum(1 for s in self.servers if s.holds(key))\n"
+        )
+        assert rules_of(lint(source)) == []
+
+    def test_own_state_is_clean(self):
+        source = (
+            "def _digest_size(self):\n"
+            "    return len(self.store)\n"
+        )
+        assert rules_of(lint(source)) == []
+
+    def test_subscript_into_collection(self):
+        source = (
+            "def peek(self):\n"
+            "    return self.servers[0].store\n"
+        )
+        assert "I102" in rules_of(lint(source))
+
+    def test_node_returning_helper_is_tracked(self):
+        source = (
+            "def views(self):\n"
+            "    return [s.view for s in self.alive_servers()]\n"
+        )
+        assert "I101" in rules_of(lint(source))
+
+    def test_assigned_collection_is_tracked(self):
+        source = (
+            "def peek(self):\n"
+            "    nodes = self.servers\n"
+            "    return nodes[2].scheduler\n"
+        )
+        assert "I102" in rules_of(lint(source))
+
+    def test_filtered_comprehension_stays_a_collection(self):
+        source = (
+            "def peek(self):\n"
+            "    alive = [s for s in self.servers if s.alive]\n"
+            "    return alive[0].store\n"
+        )
+        assert "I102" in rules_of(lint(source))
+
+    def test_reach_through_off_simpath_is_clean(self):
+        source = (
+            "def _audit(self, key):\n"
+            "    return [s.store.get(key) for s in self.servers]\n"
+        )
+        assert rules_of(lint(source, path=OFF)) == []
+
+
+# ------------------------------------------------ I2xx: payload aliasing
+
+
+class TestPayloadAliasing:
+    def test_mutable_local_mutated_after_send(self):
+        source = (
+            "def push(self, batch_size):\n"
+            "    batch = []\n"
+            "    self.node.send(7, Msg(batch))\n"
+            "    batch.append(1)\n"
+        )
+        result = lint(source)
+        assert "I201" in rules_of(result)
+
+    def test_snapshot_at_send_is_clean(self):
+        source = (
+            "def _push(self, batch_size):\n"
+            "    batch = []\n"
+            "    self.node.send(7, Msg(tuple(batch)))\n"
+            "    batch.append(1)\n"
+        )
+        assert rules_of(lint(source)) == []
+
+    def test_mutation_before_send_is_clean(self):
+        source = (
+            "def _push(self):\n"
+            "    batch = []\n"
+            "    batch.append(1)\n"
+            "    self.node.send(7, Msg(batch))\n"
+        )
+        assert rules_of(lint(source)) == []
+
+    def test_mutable_default_payload(self):
+        assert "I202" in rules_of(lint("def _f(self, payload=[]):\n    pass\n"))
+        assert "I202" in rules_of(lint("def _f(self, opts={}):\n    pass\n"))
+
+    def test_none_default_is_clean(self):
+        assert rules_of(lint("def _f(self, payload=None):\n    pass\n")) == []
+
+    def test_mutable_default_off_simpath_is_clean(self):
+        assert rules_of(lint("def _f(x=[]):\n    pass\n", path=OFF)) == []
+
+    def test_resend_of_received_message(self):
+        source = (
+            "def _on_ping(self, msg, src):\n"
+            "    self.send(src, msg)\n"
+        )
+        assert "I203" in rules_of(lint(source))
+
+    def test_rebuilt_reply_is_clean(self):
+        source = (
+            "def _on_ping(self, msg, src):\n"
+            "    self.send(src, Pong(msg.seq))\n"
+        )
+        assert rules_of(lint(source)) == []
+
+    def test_received_payload_aliased_into_outbound(self):
+        # The gossip-relay shape — baselined in the committed policy.
+        source = (
+            "def _forward(self, msg):\n"
+            "    self.node.send(1, Relay(msg.payload, msg.ttl - 1))\n"
+        )
+        assert "I204" in rules_of(lint(source))
+
+    def test_snapshotted_payload_is_clean(self):
+        source = (
+            "def _forward(self, msg):\n"
+            "    self.node.send(1, Relay(tuple(msg.payload), msg.ttl - 1))\n"
+        )
+        assert rules_of(lint(source)) == []
+
+
+# ------------------------------------------ I3xx: mutation after forward
+
+
+class TestMutationAfterForward:
+    def test_mutation_after_forward(self):
+        source = (
+            "def _on_put(self, msg, src):\n"
+            "    self.send(3, Fwd(msg.key, tuple(msg.payload)))\n"
+            "    msg.hops = msg.hops + 1\n"
+        )
+        assert "I301" in rules_of(lint(source))
+
+    def test_mutation_without_forward_is_i302(self):
+        source = (
+            "def _on_put(self, msg, src):\n"
+            "    msg.payload.append(1)\n"
+        )
+        result = lint(source)
+        assert "I302" in rules_of(result)
+        assert "I301" not in rules_of(result)
+
+    def test_read_only_handler_is_clean(self):
+        source = (
+            "def _on_put(self, msg, src):\n"
+            "    self.store.put(msg.key, msg.version, msg.value)\n"
+        )
+        assert rules_of(lint(source)) == []
+
+    def test_non_handler_param_not_treated_as_message(self):
+        source = (
+            "def _helper(self, entry, src):\n"
+            "    entry.payload.append(1)\n"
+        )
+        assert rules_of(lint(source)) == []
+
+
+# -------------------------------------------- I4xx: callback capture
+
+
+class TestCallbackCapture:
+    def test_lambda_captures_loop_variable(self):
+        source = (
+            "def anti_entropy(self, peers):\n"
+            "    for peer in peers:\n"
+            "        self.node.after(1.0, lambda: self.push(peer))\n"
+        )
+        assert "I401" in rules_of(lint(source))
+
+    def test_default_rebinding_is_clean(self):
+        source = (
+            "def _anti_entropy(self, peers):\n"
+            "    for peer in peers:\n"
+            "        self.node.after(1.0, lambda peer=peer: self.push(peer))\n"
+        )
+        assert rules_of(lint(source)) == []
+
+    def test_lambda_outside_loop_is_clean(self):
+        source = (
+            "def _arm(self, peer):\n"
+            "    self.node.after(1.0, lambda: self.push(peer))\n"
+        )
+        assert rules_of(lint(source)) == []
+
+    def test_lambda_captures_mutated_local(self):
+        source = (
+            "def _arm(self):\n"
+            "    pending = []\n"
+            "    self.node.after(1.0, lambda: self.flush(pending))\n"
+            "    pending.append(1)\n"
+        )
+        assert "I402" in rules_of(lint(source))
+
+    def test_local_settled_before_scheduling_is_clean(self):
+        source = (
+            "def _arm(self):\n"
+            "    pending = []\n"
+            "    pending.append(1)\n"
+            "    self.node.after(1.0, lambda: self.flush(pending))\n"
+        )
+        assert rules_of(lint(source)) == []
+
+
+# --------------------------------------------- select / ignore filters
+
+# One D-violation and one I-violation in the same module, so scoping is
+# observable in both directions.
+MIXED = "import time\ndef _f(self, x=[]):\n    t = time.time()\n"
+
+
+class TestSelectFilters:
+    def test_select_scopes_to_family(self):
+        result = lint_source(MIXED, path=SIM, select=["I2"])
+        assert rules_of(result) == ["I202"]
+
+    def test_select_multiple_families(self):
+        result = lint_source(MIXED, path=SIM, select=["I2", "D2"])
+        assert sorted(rules_of(result)) == ["D201", "I202"]
+
+    def test_select_exact_rule_id(self):
+        result = lint_source(MIXED, path=SIM, select=["D201"])
+        assert rules_of(result) == ["D201"]
+
+    def test_ignore_family_drops_it(self):
+        result = lint_source(MIXED, path=SIM, ignore_families=["I2"])
+        assert rules_of(result) == ["D201"]
+
+    def test_unknown_selector_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown rule selector"):
+            lint_source(MIXED, path=SIM, select=["BOGUS"])
+
+    def test_unknown_ignore_family_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown rule family"):
+            lint_source(MIXED, path=SIM, ignore_families=["Z9"])
+
+    def test_cli_unknown_selector_exits_2(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "src", "--select", "NOPE"],
+            cwd=REPO_ROOT,
+            env={**os.environ, "PYTHONPATH": os.path.join(REPO_ROOT, "src")},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 2
+        assert "unknown rule selector" in proc.stdout
+
+    def test_cli_select_scopes_clean_run(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "src", "--select", "I2,D1"],
+            cwd=REPO_ROOT,
+            env={**os.environ, "PYTHONPATH": os.path.join(REPO_ROOT, "src")},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+# ------------------------------------------------- mixed-report exit codes
+
+
+class TestMixedExitCodes:
+    def test_baselined_only_is_exit_zero(self):
+        config = LintConfig(
+            baseline=[
+                BaselineEntry(
+                    rule="I202", path="fixture.py", max_count=1, justification="t"
+                ),
+                BaselineEntry(
+                    rule="D201", path="fixture.py", max_count=1, justification="t"
+                ),
+            ]
+        )
+        result = lint(MIXED, config=config)
+        assert result.exit_code == 0
+        assert sorted(v.rule for v in result.baselined) == ["D201", "I202"]
+
+    def test_fresh_violation_is_exit_one(self):
+        config = LintConfig(
+            baseline=[
+                BaselineEntry(
+                    rule="D201", path="fixture.py", max_count=1, justification="t"
+                )
+            ]
+        )
+        result = lint(MIXED, config=config)
+        assert result.exit_code == 1
+        assert rules_of(result) == ["I202"]
+
+    def test_json_report_with_i_rules_is_byte_stable(self):
+        assert format_json(lint(MIXED)) == format_json(lint(MIXED))
+        payload = json.loads(format_json(lint(MIXED)))
+        assert payload["counts"]["by_rule"] == {"D201": 1, "I202": 1}
+
+    def test_i_rule_suppression_needs_reason(self):
+        source = (
+            "def _f(self, msg, src):\n"
+            "    self.send(src, msg)  # repro-lint: ignore[I203]\n"
+        )
+        result = lint(source)
+        assert "D002" in rules_of(result)
+        assert "I203" not in rules_of(result)
+
+    def test_i_rule_suppression_with_reason_is_clean(self):
+        source = (
+            "def _f(self, msg, src):\n"
+            "    self.send(src, msg)  # repro-lint: ignore[I203] echo test rig\n"
+        )
+        result = lint(source)
+        assert rules_of(result) == []
+        assert [v.rule for v in result.suppressed] == ["I203"]
 
 
 # ---------------------------------------------------------- suppressions
