@@ -50,7 +50,7 @@ from repro.core import (
 from repro.droplets import DropletsSession
 from repro.sim import Simulation
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "BackendRegistry",

@@ -21,6 +21,8 @@ Usage (after ``pip install -e .``)::
     python -m repro lint src --select I2,D1          # scope to chosen families
     python -m repro scenarios run baseline --sanitize  # runtime tripwires armed
     python -m repro scenarios run baseline --isolation-check  # payload checker
+    python -m repro protocol graph --format dot      # static message graph
+    python -m repro scenarios run baseline --protocol-coverage  # edge accounting
 
 Each subcommand prints the same tables the benches emit, so the CLI is
 the quickest way to eyeball a result before running the full pytest
@@ -128,6 +130,14 @@ def build_parser() -> argparse.ArgumentParser:
         "in-flight mutation raises IsolationError (trajectory-neutral — "
         "summaries match an unchecked run)",
     )
+    run.add_argument(
+        "--protocol-coverage",
+        action="store_true",
+        help="account every delivery per (node class, message type) edge "
+        "and report, on stderr, which static protocol edges the run "
+        "never exercised (trajectory-neutral — summaries match a plain "
+        "run)",
+    )
     obs_group = run.add_argument_group(
         "observability",
         "flight-recorder pillars; each flag forces its pillar on, the "
@@ -191,6 +201,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="arm the copy-on-send payload checker in every seed's run "
         "(worker processes included)",
+    )
+    sweep.add_argument(
+        "--protocol-coverage",
+        action="store_true",
+        help="account protocol edges in every seed's run; the stderr "
+        "coverage report reflects serially-run seeds (with --jobs > 1 "
+        "the counters stay in the workers)",
     )
 
     validate = action.add_parser(
@@ -313,7 +330,10 @@ def build_parser() -> argparse.ArgumentParser:
         "filesystem order dependence (D3xx), __all__ drift (D4xx) — and "
         "isolation hazards: cross-node reach-through (I1xx), payload "
         "aliasing (I2xx), mutation-after-forward (I3xx), callback "
-        "capture (I4xx). "
+        "capture (I4xx) — and protocol-flow hazards judged against the "
+        "whole-program message graph: dead letters (P1xx), payload "
+        "schema drift (P2xx), request/reply discipline (P3xx), dead "
+        "protocol code (P4xx). "
         "Inline comments of the form `repro-lint: ignore[D301] reason` "
         "(after a `#`) and the "
         "committed .repro-lint.toml policy govern exemptions. Exits "
@@ -361,6 +381,39 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write a policy file absorbing every current violation "
         "(each entry gets a TODO justification to fill in), then exit 0",
+    )
+
+    protocol = sub.add_parser(
+        "protocol",
+        help="whole-program message graph (static protocol artifact)",
+        description="Extract the static protocol graph of the sim path — "
+        "message dataclasses, send sites, handler registrations — and "
+        "serialise it. Output is deterministic byte-for-byte: two "
+        "invocations over the same tree emit identical artifacts (the "
+        "CI gate byte-compares them).",
+    )
+    protocol_action = protocol.add_subparsers(dest="action", required=True)
+    graph = protocol_action.add_parser(
+        "graph", help="emit the message graph as JSON or Graphviz DOT"
+    )
+    graph.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to scan (default: the installed "
+        "repro package)",
+    )
+    graph.add_argument(
+        "--config",
+        metavar="FILE",
+        help="lint policy file (sim-path classification; default: "
+        "./.repro-lint.toml if present, else built-in defaults)",
+    )
+    graph.add_argument(
+        "--format",
+        choices=["json", "dot"],
+        default="json",
+        help="artifact format (default json; both are byte-stable)",
     )
 
     return parser
@@ -544,6 +597,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             recorder=recorder,
             sanitize=args.sanitize,
             isolation_check=args.isolation_check,
+            protocol_coverage=args.protocol_coverage,
         )
         if args.summary:
             print(result.summary_json())
@@ -566,6 +620,8 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             # byte-compared in CI and must stay pure.
             print(f"obs artifacts: {obs_dir} ({manifest_path})", file=sys.stderr)
             print(f"inspect with: repro report {obs_dir}", file=sys.stderr)
+        if args.protocol_coverage:
+            _print_protocol_coverage()
         return 0
 
     # sweep
@@ -575,7 +631,12 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         sanitize=args.sanitize,
         isolation_check=args.isolation_check,
+        protocol_coverage=args.protocol_coverage,
     )
+    if args.protocol_coverage and args.jobs <= 1:
+        # With --jobs > 1 the counters accumulated inside the workers;
+        # a report here would be vacuously empty, so skip it.
+        _print_protocol_coverage()
     if args.summary:
         print(result.summary_json())
         return 0
@@ -988,6 +1049,55 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def _default_protocol_paths() -> list:
+    """The installed ``repro`` package — the tree the runtime actually
+    executes, so runtime coverage and the static graph always describe
+    the same code."""
+    import repro
+
+    return [os.path.dirname(os.path.abspath(repro.__file__))]
+
+
+def _cmd_protocol(args: argparse.Namespace) -> int:
+    from repro.lint import LintConfig, build_protocol_graph
+
+    config = LintConfig.load(args.config)
+    paths = args.paths or _default_protocol_paths()
+    graph = build_protocol_graph(paths, config)
+    artifact = graph.to_dot() if args.format == "dot" else graph.to_json()
+    sys.stdout.write(artifact)
+    return 0
+
+
+def _print_protocol_coverage() -> None:
+    """After a ``--protocol-coverage`` run: diff the static handler
+    edges against the runtime handled counters. Chatter goes to stderr —
+    ``--summary`` stdout is byte-compared in CI and must stay pure."""
+    from repro.lint import (
+        LintConfig,
+        build_protocol_graph,
+        coverage_snapshot,
+        unexercised_edges,
+    )
+
+    graph = build_protocol_graph(_default_protocol_paths(), LintConfig.load(None))
+    snapshot = coverage_snapshot()
+    missing = unexercised_edges(graph)
+    total = len(graph.handle_edges())
+    handled = sum(snapshot["handled"].values())
+    print(
+        f"protocol coverage: {total - len(missing)}/{total} static handler "
+        f"edges exercised ({handled} handled deliveries)",
+        file=sys.stderr,
+    )
+    for endpoint, message, handlers in missing:
+        names = ", ".join(handlers) if handlers else "?"
+        print(
+            f"  unexercised: {message} -> {endpoint}.{names}",
+            file=sys.stderr,
+        )
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "fig3": _cmd_fig3,
@@ -998,6 +1108,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "hunt": _cmd_hunt,
     "lint": _cmd_lint,
+    "protocol": _cmd_protocol,
 }
 
 

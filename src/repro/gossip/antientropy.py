@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import AbstractSet, FrozenSet, Iterable, Set, Tuple
 
-__all__ = ["Digest", "missing_from", "diff", "merge_digests"]
+__all__ = ["Digest", "make_digest", "missing_from", "diff", "merge_digests"]
 
 # A digest entry identifies one stored object version.
 Digest = FrozenSet[Tuple[str, int]]

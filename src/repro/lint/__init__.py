@@ -23,8 +23,20 @@ shared-nothing; payload ownership transfers to the network at send):
   payload checker (``scenarios run --isolation-check``) that digests
   every payload at ``Network.send`` and re-verifies it at delivery.
 
-All halves enforce two contracts; DESIGN.md ("Determinism contract &
-static analysis", "Isolation contract") is the narrative version.
+A third contract covers protocol *flow* (messages reach a handler, and
+handlers only read fields the message defines):
+
+* the P-families of ``repro lint`` — dead letters (P1xx), payload
+  schema (P2xx), request/reply discipline (P3xx) and dead protocol
+  code (P4xx), judged against the whole-program message graph
+  (``repro protocol graph`` serialises it);
+* :func:`~repro.lint.coverage.protocol_coverage` — the runtime edge
+  accountant (``scenarios run --protocol-coverage``) that records which
+  static ``(endpoint, message)`` edges a scenario actually exercised.
+
+All halves enforce three contracts; DESIGN.md ("Determinism contract &
+static analysis", "Isolation contract", "Protocol graph & flow
+analysis") is the narrative version.
 """
 
 from repro.lint.baseline import apply_baseline, render_policy_toml
@@ -34,8 +46,20 @@ from repro.lint.config import (
     LintConfig,
     baseline_from_violations,
 )
-from repro.lint.engine import LintResult, lint_paths, lint_source
+from repro.lint.coverage import (
+    coverage_snapshot,
+    protocol_coverage,
+    protocol_coverage_active,
+    unexercised_edges,
+)
+from repro.lint.engine import (
+    LintResult,
+    build_protocol_graph,
+    lint_paths,
+    lint_source,
+)
 from repro.lint.isolation import isolation_active, isolation_guard, payload_digest
+from repro.lint.protograph import MessageDef, ProtocolGraph, SendSite
 from repro.lint.report import format_json, format_text
 from repro.lint.rules import CATALOG, FAMILIES, Rule, Violation
 from repro.lint.sanitizer import determinism_guard, guard_active
@@ -47,10 +71,15 @@ __all__ = [
     "FAMILIES",
     "LintConfig",
     "LintResult",
+    "MessageDef",
+    "ProtocolGraph",
     "Rule",
+    "SendSite",
     "Violation",
     "apply_baseline",
     "baseline_from_violations",
+    "build_protocol_graph",
+    "coverage_snapshot",
     "determinism_guard",
     "format_json",
     "format_text",
@@ -60,5 +89,8 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "payload_digest",
+    "protocol_coverage",
+    "protocol_coverage_active",
     "render_policy_toml",
+    "unexercised_edges",
 ]

@@ -68,6 +68,9 @@ def render_policy_toml(config: LintConfig, baseline: Sequence[BaselineEntry]) ->
         f"node_returning = {_string_array(config.node_returning)}",
         f"node_state = {_string_array(config.node_state)}",
         f"payload_attrs = {_string_array(config.payload_attrs)}",
+        "",
+        "[lint.protocol]",
+        f"request_reply = {_pair_array(config.request_reply)}",
     ]
     for entry in config.allow:
         lines += [
@@ -98,4 +101,13 @@ def _string_array(values: Sequence[str]) -> str:
     if not values:
         return "[]"
     inner = ",\n    ".join(_quote(v) for v in values)
+    return f"[\n    {inner},\n]"
+
+
+def _pair_array(pairs: Sequence[Tuple[str, str]]) -> str:
+    if not pairs:
+        return "[]"
+    inner = ",\n    ".join(
+        f"[{_quote(a)}, {_quote(b)}]" for a, b in pairs
+    )
     return f"[\n    {inner},\n]"

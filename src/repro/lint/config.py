@@ -78,6 +78,24 @@ DEFAULT_NODE_STATE: Tuple[str, ...] = ("store", "view", "scheduler")
 # of these into an outbound send without a copy wrapper is I204.
 DEFAULT_PAYLOAD_ATTRS: Tuple[str, ...] = ("payload", "value")
 
+# Request/reply message pairs the P3xx rules enforce: the request's
+# handler must send the reply type (P301), and the reply type may only
+# be sent from a request handler (P302). Push-pull exchanges that
+# answer with their own type (MinSketchShare) are deliberately absent.
+DEFAULT_REQUEST_REPLY: Tuple[Tuple[str, str], ...] = (
+    ("AttributeQuery", "AttributeReport"),
+    ("GetRequest", "GetReply"),
+    ("NewsExchange", "NewsReply"),
+    ("OracleGet", "OracleGetReply"),
+    ("OraclePut", "OraclePutAck"),
+    ("PutRequest", "PutAck"),
+    ("RankProbe", "RankSample"),
+    ("RpcRequest", "RpcReply"),
+    ("ShuffleRequest", "ShuffleReply"),
+    ("SwapProposal", "SwapReply"),
+    ("SyncDigest", "SyncResponse"),
+)
+
 
 @dataclass(frozen=True)
 class AllowEntry:
@@ -131,6 +149,7 @@ class LintConfig:
     node_returning: Tuple[str, ...] = DEFAULT_NODE_RETURNING
     node_state: Tuple[str, ...] = DEFAULT_NODE_STATE
     payload_attrs: Tuple[str, ...] = DEFAULT_PAYLOAD_ATTRS
+    request_reply: Tuple[Tuple[str, str], ...] = DEFAULT_REQUEST_REPLY
     allow: List[AllowEntry] = field(default_factory=list)
     baseline: List[BaselineEntry] = field(default_factory=list)
     source: Optional[str] = None  # config file path, for reporting
@@ -176,6 +195,20 @@ class LintConfig:
         node_returning = tuple(lint.get("node_returning", DEFAULT_NODE_RETURNING))
         node_state = tuple(lint.get("node_state", DEFAULT_NODE_STATE))
         payload_attrs = tuple(lint.get("payload_attrs", DEFAULT_PAYLOAD_ATTRS))
+        protocol = lint.get("protocol", {})
+        raw_pairs = protocol.get("request_reply", DEFAULT_REQUEST_REPLY)
+        request_reply = []
+        for pair in raw_pairs:
+            if (
+                len(pair) != 2
+                or not all(isinstance(half, str) and half for half in pair)
+            ):
+                raise ConfigurationError(
+                    "every [lint.protocol] request_reply entry must be a "
+                    '["Request", "Reply"] pair of class names'
+                    + (f" ({source})" if source else "")
+                )
+            request_reply.append((pair[0], pair[1]))
         allow = [
             AllowEntry(
                 rule=_required(entry, "rule", source, "allow"),
@@ -197,7 +230,8 @@ class LintConfig:
             if not is_known_rule(entry.rule):
                 raise ConfigurationError(
                     f"lint config names unknown rule {entry.rule!r} "
-                    f"(expected a Dxxx/Ixxx id or a Dx/Ix family prefix)"
+                    f"(expected a Dxxx/Ixxx/Pxxx id or a Dx/Ix/Px family "
+                    f"prefix)"
                 )
         return cls(
             simpath=simpath,
@@ -206,6 +240,7 @@ class LintConfig:
             node_returning=node_returning,
             node_state=node_state,
             payload_attrs=payload_attrs,
+            request_reply=tuple(request_reply),
             allow=allow,
             baseline=baseline,
             source=source,

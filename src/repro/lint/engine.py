@@ -17,10 +17,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import ConfigurationError
 from repro.lint.baseline import apply_baseline
 from repro.lint.config import BaselineEntry, LintConfig
+from repro.lint.protocol import analyze_modules, build_graph, extract_module
+from repro.lint.protograph import ProtocolGraph
 from repro.lint.rules import FAMILIES, Violation, is_known_rule
 from repro.lint.visitors import audit_module
 
-__all__ = ["LintResult", "lint_paths", "lint_source"]
+__all__ = ["LintResult", "build_protocol_graph", "lint_paths", "lint_source"]
 
 # `# repro-lint: ignore[D301] reason` — rule ids comma-separated; the
 # trailing reason is mandatory (enforced as rule D002, not by parsing).
@@ -80,6 +82,8 @@ def lint_paths(
         # on a typo'd path would be a vacuously green CI gate.
         if not os.path.exists(target):
             result.errors.append(f"{target}: no such file or directory")
+    sources: Dict[str, str] = {}
+    modules = []
     for path in _iter_python_files(paths):
         result.files.append(path)
         try:
@@ -88,8 +92,11 @@ def lint_paths(
         except OSError as exc:
             result.errors.append(f"{path}: unreadable: {exc}")
             continue
-        file_raw, file_errors = _lint_one(source, path, config)
+        file_raw, file_errors, tree = _lint_one(source, path, config)
         result.errors.extend(file_errors)
+        if tree is not None and config.is_simpath(path):
+            modules.append(extract_module(tree, path))
+            sources[path] = source
         for violation in file_raw:
             if keep is not None and not keep(violation):
                 continue
@@ -98,6 +105,21 @@ def lint_paths(
                 suppressed.append(violation)
             elif status == "allowed":
                 allowed.append(violation)
+    # The protocol pass is whole-program: it runs once over every
+    # sim-path module collected above, then each P-violation routes
+    # through the same suppression/allow/baseline machinery, judged
+    # against the source of the file it anchors in.
+    _, protocol_violations = analyze_modules(modules, config)
+    for violation in protocol_violations:
+        if keep is not None and not keep(violation):
+            continue
+        status = _classify(
+            violation, sources.get(violation.path, ""), config, raw_list=raw
+        )
+        if status == "suppressed":
+            suppressed.append(violation)
+        elif status == "allowed":
+            allowed.append(violation)
     remaining, baselined, stale = apply_baseline(raw, config)
     result.violations = remaining
     result.suppressed = sorted(suppressed, key=Violation.sort_key)
@@ -123,8 +145,16 @@ def lint_source(
     config = config if config is not None else LintConfig()
     keep = _make_filter(select, ignore_families)
     result = LintResult(files=[path])
-    file_raw, file_errors = _lint_one(source, path, config)
+    file_raw, file_errors, tree = _lint_one(source, path, config)
     result.errors.extend(file_errors)
+    if tree is not None and config.is_simpath(path):
+        # Single-module protocol pass: fixtures exercise the P-rules
+        # without a tree walk. Whole-program caveats apply (see
+        # repro.lint.protocol).
+        _, protocol_violations = analyze_modules(
+            [extract_module(tree, path)], config
+        )
+        file_raw = file_raw + protocol_violations
     raw: List[Violation] = []
     for violation in file_raw:
         if keep is not None and not keep(violation):
@@ -139,6 +169,28 @@ def lint_source(
     result.baselined = baselined
     result.stale_baseline = stale
     return result
+
+
+def build_protocol_graph(
+    paths: Sequence[str], config: Optional[LintConfig] = None
+) -> ProtocolGraph:
+    """Extract and link the protocol graph of every sim-path module
+    under ``paths`` — the ``repro protocol graph`` artifact. Uses the
+    same sorted file walk as :func:`lint_paths`, so two invocations over
+    the same tree serialise byte-identically."""
+    config = config if config is not None else LintConfig()
+    modules = []
+    for path in _iter_python_files(paths):
+        if not config.is_simpath(path):
+            continue
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                source = f.read()
+            tree = ast.parse(source, filename=path)
+        except (OSError, SyntaxError):
+            continue
+        modules.append(extract_module(tree, path))
+    return build_graph(modules)
 
 
 # ------------------------------------------------------------------ internals
@@ -177,15 +229,19 @@ def _make_filter(
 
 def _lint_one(
     source: str, path: str, config: LintConfig
-) -> Tuple[List[Violation], List[str]]:
+) -> Tuple[List[Violation], List[str], Optional[ast.Module]]:
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [], [f"{path}: syntax error: {exc.msg} (line {exc.lineno})"]
+        return (
+            [],
+            [f"{path}: syntax error: {exc.msg} (line {exc.lineno})"],
+            None,
+        )
     module_name = os.path.basename(path).rsplit(".", 1)[0]
     violations = audit_module(tree, path, config, module_name)
     violations.extend(_audit_suppression_comments(source, path))
-    return violations, []
+    return violations, [], tree
 
 
 def _audit_suppression_comments(source: str, path: str) -> List[Violation]:

@@ -119,6 +119,7 @@ def run_scenario(
     recorder=None,
     sanitize: bool = False,
     isolation_check: bool = False,
+    protocol_coverage: bool = False,
 ) -> ScenarioResult:
     """Execute ``spec`` once; ``seed`` overrides the spec's default.
 
@@ -149,13 +150,22 @@ def run_scenario(
     RNG — so a checked run is byte-identical to a plain one (the
     determinism CI matrix byte-compares them).
 
+    ``protocol_coverage`` arms
+    :func:`repro.lint.coverage.protocol_coverage`: every delivery is
+    accounted per ``(node class, message type)`` edge, and the counters
+    stay readable after the run (:func:`repro.lint.coverage.\
+coverage_snapshot`) so the CLI can report which static protocol edges
+    the scenario never exercised. The accountant only reads state the
+    delivery path reads anyway — a covered run is byte-identical to a
+    plain one (the determinism CI matrix byte-compares them too).
+
     Runs under :func:`~repro.sim.simulator.relaxed_gc`: simulation
     garbage is acyclic, and default cyclic-GC thresholds cost up to ~3x
     wall-clock at 1,000+ nodes for nothing. GC settings do not affect
     the trajectory, so summaries stay byte-identical either way.
     """
     seed = spec.seed if seed is None else seed
-    if sanitize or isolation_check:
+    if sanitize or isolation_check or protocol_coverage:
         from contextlib import ExitStack
 
         with ExitStack() as guards:
@@ -167,6 +177,12 @@ def run_scenario(
                 from repro.lint.isolation import isolation_guard
 
                 guards.enter_context(isolation_guard())
+            if protocol_coverage:
+                from repro.lint.coverage import (
+                    protocol_coverage as coverage_guard,
+                )
+
+                guards.enter_context(coverage_guard())
             guards.enter_context(relaxed_gc())
             return _run_scenario_inner(spec, seed, recorder)
     with relaxed_gc():
@@ -264,12 +280,16 @@ def _run_scenario_inner(spec: ScenarioSpec, seed: int, recorder=None) -> Scenari
 
 
 def _run_scenario_job(
-    args: Tuple[ScenarioSpec, int, bool, bool]
+    args: Tuple[ScenarioSpec, int, bool, bool, bool]
 ) -> ScenarioResult:
     """Module-level shim so worker processes can unpickle the call."""
-    spec, seed, sanitize, isolation_check = args
+    spec, seed, sanitize, isolation_check, protocol_coverage = args
     return run_scenario(
-        spec, seed, sanitize=sanitize, isolation_check=isolation_check
+        spec,
+        seed,
+        sanitize=sanitize,
+        isolation_check=isolation_check,
+        protocol_coverage=protocol_coverage,
     )
 
 
@@ -279,6 +299,7 @@ def run_sweep(
     jobs: int = 1,
     sanitize: bool = False,
     isolation_check: bool = False,
+    protocol_coverage: bool = False,
 ) -> SweepResult:
     """Run ``spec`` once per seed and aggregate the metrics.
 
@@ -287,9 +308,13 @@ def run_sweep(
     deterministic simulation and results are collected in seed order, so
     the returned :class:`SweepResult` — including
     :meth:`SweepResult.summary_json` — is byte-identical whatever the
-    job count. ``sanitize`` arms the runtime determinism guard and
-    ``isolation_check`` the payload isolation guard for every seed's run
-    (see :func:`run_scenario`) — in worker processes too.
+    job count. ``sanitize`` arms the runtime determinism guard,
+    ``isolation_check`` the payload isolation guard, and
+    ``protocol_coverage`` the protocol-edge accountant for every seed's
+    run (see :func:`run_scenario`) — in worker processes too. With
+    ``jobs > 1`` the coverage counters accumulate inside each worker,
+    so after a parallel sweep :func:`repro.lint.coverage.\
+coverage_snapshot` in the parent only reflects serially-run seeds.
 
     Caveat for custom backends: workers import only :mod:`repro`
     modules, so a backend registered at runtime (``@register_backend``
@@ -308,13 +333,20 @@ def run_sweep(
             results = list(
                 pool.map(
                     _run_scenario_job,
-                    [(spec, s, sanitize, isolation_check) for s in seeds],
+                    [
+                        (spec, s, sanitize, isolation_check, protocol_coverage)
+                        for s in seeds
+                    ],
                 )
             )
     else:
         results = [
             run_scenario(
-                spec, seed, sanitize=sanitize, isolation_check=isolation_check
+                spec,
+                seed,
+                sanitize=sanitize,
+                isolation_check=isolation_check,
+                protocol_coverage=protocol_coverage,
             )
             for seed in seeds
         ]

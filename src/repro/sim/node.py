@@ -134,6 +134,11 @@ class Node:
         self._handlers: Dict[Type[Any], Callable[[Any, int], None]] = {}
         self._timers: List[PeriodicTask] = []
         self._services: List[Service] = []
+        # Interned per-type dead-letter counter slots, mirroring the
+        # Network's per-type send/receive cache: type -> live inner dict
+        # of `msg.unhandled.<Type>` (built on first dead-letter of that
+        # type, reused for every later one).
+        self._unhandled_slots: Dict[Type[Any], Dict[Optional[int], float]] = {}
         self.rng = ctx.rng(f"node.{node_id}")
 
     # ------------------------------------------------------------ plumbing
@@ -227,12 +232,22 @@ class Node:
         self._handlers.pop(msg_cls, None)
 
     def deliver(self, msg: Any, src: int) -> None:
-        """Network entry point; dispatches by exact message type."""
+        """Network entry point; dispatches by exact message type.
+
+        A message with no handler dead-letters into a per-type counter
+        (``msg.unhandled.<Type>``), so a scenario report names *which*
+        protocol's messages went unheard instead of one opaque total.
+        """
         if not self.alive:
             return
         handler = self._handlers.get(type(msg))
         if handler is None:
-            self.metrics.inc("msg.unhandled")
+            slots = self._unhandled_slots.get(type(msg))
+            if slots is None:
+                slots = self._unhandled_slots[type(msg)] = self.metrics.counter(
+                    f"msg.unhandled.{type(msg).__name__}"
+                )
+            slots[None] = slots.get(None, 0.0) + 1.0
             return
         handler(msg, src)
 

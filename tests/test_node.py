@@ -39,7 +39,27 @@ def test_unhandled_message_counted_not_raised():
     sim, a, b = make_pair()
     a.send(b.id, Pong())
     sim.run_for(1)
-    assert sim.metrics.total("msg.unhandled") == 1
+    assert sim.metrics.total("msg.unhandled.Pong") == 1
+
+
+def test_unhandled_messages_counted_per_type():
+    # The dead-letter counter names the message type, so a report can say
+    # *which* protocol went unheard — and types the node does handle
+    # never appear in the unhandled namespace.
+    sim, a, b = make_pair()
+    b.register_handler(Ping, lambda m, s: None)
+    a.send(b.id, Ping())
+    a.send(b.id, Pong())
+    a.send(b.id, Pong())
+    sim.run_for(1)
+    assert sim.metrics.total("msg.unhandled.Pong") == 2
+    assert sim.metrics.total("msg.unhandled.Ping") == 0
+    unhandled = [
+        name
+        for name in sim.metrics.counter_names()
+        if name.startswith("msg.unhandled.")
+    ]
+    assert unhandled == ["msg.unhandled.Pong"]
 
 
 def test_duplicate_handler_registration_rejected():

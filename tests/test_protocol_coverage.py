@@ -1,0 +1,212 @@
+"""The runtime protocol-coverage accountant: per-(node class, message
+type) delivered/handled edge counts, the static-vs-runtime edge diff,
+guard restoration and re-entrancy, and the trajectory-neutrality
+contract — a covered scenario run is byte-identical to a plain one."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lint import (
+    build_protocol_graph,
+    coverage_snapshot,
+    protocol_coverage,
+    protocol_coverage_active,
+    unexercised_edges,
+)
+from repro.scenarios.registry import load_bundled
+from repro.scenarios.runner import run_scenario, run_sweep
+from repro.sim.node import Node
+from repro.sim.simulator import Simulation
+
+SMALL = dict(
+    nodes=20,
+    warmup=8.0,
+    settle=6.0,
+    cooldown=0.0,
+    record_count=5,
+    operation_count=8,
+)
+
+
+def small_spec(name: str = "baseline"):
+    spec = load_bundled(name)
+    overrides = dict(SMALL)
+    if spec.stack == "core":
+        overrides["num_slices"] = 3
+    return spec.scaled(**overrides)
+
+
+# ----------------------------------------------------------- guard fixtures
+
+
+@dataclass(frozen=True)
+class Ping:
+    body: str
+
+
+@dataclass(frozen=True)
+class Stray:
+    body: str
+
+
+class Chatty(Node):
+    """Sends one handled type and one dead-letter type."""
+
+    def on_start(self) -> None:
+        self.after(0.1, self._fire)
+
+    def _fire(self) -> None:
+        self.send(1, Ping("hi"))
+        self.send(1, Stray("lost"))
+
+
+class Sink(Node):
+    def on_start(self) -> None:
+        self.register_handler(Ping, self._on_ping)
+
+    def _on_ping(self, msg, src) -> None:
+        self.last = msg.body
+
+
+def _sim() -> Simulation:
+    sim = Simulation(seed=7)
+    sender = sim.add_node(Chatty, 0)
+    sink = sim.add_node(Sink, 1)
+    sender.start()
+    sink.start()
+    return sim
+
+
+# ------------------------------------------------------------------- guard
+
+
+class TestCoverageGuard:
+    def test_inactive_by_default(self):
+        assert not protocol_coverage_active()
+
+    def test_delivered_and_handled_are_keyed_by_class_and_type(self):
+        sim = _sim()
+        with protocol_coverage():
+            assert protocol_coverage_active()
+            sim.run_for(1.0)
+        snapshot = coverage_snapshot()
+        assert snapshot["delivered"]["Sink/Ping"] == 1
+        assert snapshot["delivered"]["Sink/Stray"] == 1
+        assert snapshot["handled"] == {"Sink/Ping": 1}
+
+    def test_counters_survive_guard_exit_and_reset_on_entry(self):
+        sim = _sim()
+        with protocol_coverage():
+            sim.run_for(1.0)
+        assert coverage_snapshot()["handled"]  # readable after exit
+        with protocol_coverage():
+            pass  # outermost entry clears the previous run's counters
+        assert coverage_snapshot() == {"delivered": {}, "handled": {}}
+
+    def test_dead_destination_is_not_counted(self):
+        sim = Simulation(seed=7)
+        sender = sim.add_node(Chatty, 0)
+        sink = sim.add_node(Sink, 1)
+        sender.start()
+        sink.start()
+        sink.stop()
+        with protocol_coverage():
+            sim.run_for(1.0)
+        # Unregistered destination: the network drops the message before
+        # any node class can be attributed.
+        assert coverage_snapshot() == {"delivered": {}, "handled": {}}
+
+    def test_restores_on_exit(self):
+        from repro.sim.network import Network
+
+        before = Network._deliver
+        with protocol_coverage():
+            assert Network._deliver is not before
+        assert Network._deliver is before
+        assert not protocol_coverage_active()
+
+    def test_reentrant(self):
+        from repro.sim.network import Network
+
+        before = Network._deliver
+        with protocol_coverage():
+            with protocol_coverage():
+                assert protocol_coverage_active()
+            # Inner exit must not disarm the outer guard.
+            assert protocol_coverage_active()
+            assert Network._deliver is not before
+        assert not protocol_coverage_active()
+        assert Network._deliver is before
+
+
+# ------------------------------------------------- static-vs-runtime diff
+
+
+class TestEdgeDiff:
+    def test_scenario_exercises_core_edges(self):
+        import os
+
+        import repro
+
+        run_scenario(small_spec(), seed=11, protocol_coverage=True)
+        graph = build_protocol_graph(
+            [os.path.dirname(os.path.abspath(repro.__file__))]
+        )
+        missing = unexercised_edges(graph)
+        missing_keys = {(endpoint, message) for endpoint, message, _ in missing}
+        # The baseline core stack drives the put/get protocol…
+        assert ("RequestHandler", "PutRequest") not in missing_keys
+        assert ("RequestHandler", "GetRequest") not in missing_keys
+        # …and never touches the oracle stack's wiring.
+        assert ("OracleNode", "OraclePut") in missing_keys
+
+    def test_all_edges_missing_without_a_covered_run(self):
+        import os
+
+        import repro
+
+        with protocol_coverage():
+            pass  # clear counters; nothing runs
+        graph = build_protocol_graph(
+            [os.path.dirname(os.path.abspath(repro.__file__))]
+        )
+        assert len(unexercised_edges(graph)) == len(graph.handle_edges())
+
+
+# ---------------------------------------------------- trajectory neutrality
+
+
+class TestTrajectoryNeutrality:
+    def test_covered_run_is_byte_identical(self):
+        spec = small_spec()
+        plain = run_scenario(spec, seed=11)
+        covered = run_scenario(spec, seed=11, protocol_coverage=True)
+        assert covered.summary_json() == plain.summary_json()
+        assert not protocol_coverage_active()
+
+    def test_covered_fault_spec_is_byte_identical(self):
+        spec = small_spec("asymmetric-partition")
+        plain = run_scenario(spec, seed=3)
+        covered = run_scenario(spec, seed=3, protocol_coverage=True)
+        assert covered.summary_json() == plain.summary_json()
+
+    def test_covered_sweep_is_byte_identical(self):
+        spec = small_spec()
+        plain = run_sweep(spec, seeds=[0, 1])
+        covered = run_sweep(spec, seeds=[0, 1], protocol_coverage=True)
+        assert covered.summary_json() == plain.summary_json()
+
+    def test_stacks_with_sanitizer_and_isolation_checker(self):
+        # scenarios run --sanitize --isolation-check --protocol-coverage:
+        # all three guards armed at once, restored in LIFO order.
+        spec = small_spec("dht-crash-recover")
+        result = run_scenario(
+            spec,
+            seed=5,
+            sanitize=True,
+            isolation_check=True,
+            protocol_coverage=True,
+        )
+        assert result.metrics["events_processed"] > 0
+        assert coverage_snapshot()["handled"]
